@@ -1,0 +1,254 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each benchmark regenerates the figure's data series (at the
+// Quick profile — use cmd/experiments -profile full for paper-scale runs)
+// and reports the headline numbers as custom benchmark metrics, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces the entire evaluation. The RL agent is trained once and shared
+// by the figure benchmarks that need it.
+package minicost_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"minicost/internal/experiments"
+	"minicost/internal/trace"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+	benchLabErr  error
+)
+
+// lab returns the shared trained lab (Quick profile).
+func benchLabGet(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		cfg := experiments.Quick()
+		benchLab, benchLabErr = experiments.NewLab(cfg)
+		if benchLabErr != nil {
+			return
+		}
+		_, benchLabErr = benchLab.TrainAgent()
+	})
+	if benchLabErr != nil {
+		b.Fatal(benchLabErr)
+	}
+	return benchLab
+}
+
+// BenchmarkFig2TraceSigmaHistogram regenerates Fig. 2: the volatility
+// histogram of the trace. Metrics: share of the stationary bucket.
+func BenchmarkFig2TraceSigmaHistogram(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = l.Fig2()
+	}
+	b.ReportMetric(r.Shares[0], "stationary-share")
+	b.ReportMetric(r.Shares[trace.NumBuckets-1], "volatile-share")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig3PotentialSavings regenerates Fig. 3: potential $ savings per
+// σ bucket. Metric: ratio of per-file saving, most-volatile vs stationary
+// bucket (the paper's headline: volatile files save more per file).
+func BenchmarkFig3PotentialSavings(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = l.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if r.PerFilePerDay[0] > 0 {
+		b.ReportMetric(r.PerFilePerDay[4]/r.PerFilePerDay[0], "volatile-vs-stationary-saving")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig4ARIMAError regenerates Fig. 4: ARIMA prediction-error
+// percentiles per σ bucket. Metric: error spread of the most volatile
+// bucket relative to the stationary one.
+func BenchmarkFig4ARIMAError(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = l.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s0 := r.Spread(0); s0 > 0 {
+		b.ReportMetric(r.Spread(4)/s0, "volatile-vs-stationary-spread")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig7TotalCost regenerates Fig. 7: total cost vs days for the
+// five methods. Metrics: each method's cost at the longest horizon,
+// normalized by Optimal (the paper's lower bound).
+func BenchmarkFig7TotalCost(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = l.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(r.Days) - 1
+	opt := r.Costs["optimal"][last]
+	for _, m := range experiments.MethodNames {
+		if m == "optimal" || opt == 0 {
+			continue
+		}
+		b.ReportMetric(r.Costs[m][last]/opt, m+"/optimal")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig8CostBySigma regenerates Fig. 8: daily cost per σ bucket for
+// the five methods.
+func BenchmarkFig8CostBySigma(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig8Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = l.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The paper's observation: static policies degrade with volatility.
+	hot := r.Costs["hot"]
+	if r.Files[4] > 0 && r.Files[0] > 0 && hot[0] > 0 {
+		perFile0 := hot[0] / float64(r.Files[0])
+		perFile4 := hot[4] / float64(r.Files[4])
+		if perFile0 > 0 {
+			b.ReportMetric(perFile4/perFile0, "hot-volatile-vs-stationary")
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig9LearningRateSweep regenerates Fig. 9: steps to convergence
+// versus learning rate (reduced grid at bench scale). Metric: the best
+// learning rate found (paper: ~0.0028).
+func BenchmarkFig9LearningRateSweep(b *testing.B) {
+	cfg := experiments.QuickLearningConfig()
+	var r *experiments.Fig9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig9(cfg, []float64{0.0004, 0.0028, 0.0055})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.BestLR(), "best-lr")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig10EpsilonSweep regenerates Fig. 10: optimal-action rate vs
+// steps per greedy rate. Metric: final rate at ε = 0.1 (the paper's best).
+func BenchmarkFig10EpsilonSweep(b *testing.B) {
+	cfg := experiments.QuickLearningConfig()
+	cfg.MaxSteps = 40000
+	var r *experiments.Fig10Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig10(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FinalRate(0.1), "final-rate-eps0.1")
+	b.ReportMetric(r.FinalRate(0.001), "final-rate-eps0.001")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig11WidthSweep regenerates Fig. 11: optimal-action rate vs
+// network width. Metrics: mean rate at the smallest and largest width.
+func BenchmarkFig11WidthSweep(b *testing.B) {
+	cfg := experiments.QuickLearningConfig()
+	cfg.MaxSteps = 40000
+	cfg.ChunkSteps = 40000
+	var r *experiments.Fig11Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig11(cfg, []int{4, 32, 64}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Mean[0], "rate-width4")
+	b.ReportMetric(r.Mean[len(r.Mean)-1], "rate-width64")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig12Overhead regenerates Fig. 12: per-day computing overhead.
+// Metrics: per-day decision time extrapolated to the paper's 4 M files, in
+// minutes, for greedy and minicost.
+func BenchmarkFig12Overhead(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig12Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = l.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ScaledMinutes["minicost"], "minicost-min/day@4M")
+	b.ReportMetric(r.ScaledMinutes["greedy"], "greedy-min/day@4M")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}
+
+// BenchmarkFig13Aggregation regenerates Fig. 13: the aggregation
+// enhancement. Metric: cost of MiniCost w/E relative to plain MiniCost at
+// the longest horizon (< 1 means the enhancement saved money).
+func BenchmarkFig13Aggregation(b *testing.B) {
+	l := benchLabGet(b)
+	var r *experiments.Fig13Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = l.Fig13(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(r.Days) - 1
+	if plain := r.Costs["minicost"][last]; plain > 0 {
+		b.ReportMetric(r.Costs["minicost-w/E"][last]/plain, "withE/plain")
+	}
+	b.ReportMetric(float64(r.AggregatedGroups), "groups")
+	var buf bytes.Buffer
+	r.Render(&buf)
+	b.Logf("\n%s", buf.String())
+}

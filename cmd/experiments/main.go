@@ -1,0 +1,148 @@
+// Command experiments reproduces the paper's evaluation figures
+// (§6, Figs. 7–13) end to end: it generates the workload, trains the
+// MiniCost A3C agent, and prints the data series behind each figure.
+//
+// Usage:
+//
+//	experiments -fig 7                  # one figure (trains the agent)
+//	experiments -fig all -profile quick # everything, scaled down
+//	experiments -fig 9 -profile full    # learning-rate sweep, full profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"minicost/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure: 7, 8, 9, 10, 11, 12, 13, breakdown or all")
+		profile = flag.String("profile", "quick", "workload profile: quick or full")
+		files   = flag.Int("files", 0, "override file count")
+		days    = flag.Int("days", 0, "override trace days")
+		steps   = flag.Int64("train-steps", 0, "override training steps")
+		seed    = flag.Uint64("seed", 1, "workload/training seed")
+		psi     = flag.Int("psi", 0, "aggregation Psi for fig 13 (0 = default)")
+		runs    = flag.Int("runs", 0, "repetitions for fig 11 (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	lcfg := experiments.QuickLearningConfig()
+	if *profile == "full" {
+		cfg = experiments.Full()
+		lcfg = experiments.DefaultLearningConfig()
+	}
+	cfg.Seed = *seed
+	lcfg.Seed = *seed
+	if *files > 0 {
+		cfg.Files = *files
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *steps > 0 {
+		cfg.TrainSteps = *steps
+	}
+
+	var lab *experiments.Lab
+	getLab := func() *experiments.Lab {
+		if lab == nil {
+			var err error
+			lab, err = experiments.NewLab(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "[experiments] training agent (%d steps, %d files)...\n", cfg.TrainSteps, cfg.Files)
+			start := time.Now()
+			if _, err := lab.TrainAgent(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "[experiments] trained in %s\n", time.Since(start).Round(time.Second))
+		}
+		return lab
+	}
+
+	run := func(name string) {
+		switch name {
+		case "7":
+			fmt.Println("== Fig 7: total cost vs days (Hot/Cold/Greedy/MiniCost/Optimal) ==")
+			r, err := getLab().Fig7()
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "8":
+			fmt.Println("== Fig 8: daily cost per sigma bucket ==")
+			r, err := getLab().Fig8()
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "9":
+			fmt.Println("== Fig 9: steps to convergence vs learning rate ==")
+			r, err := experiments.Fig9(lcfg, nil)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+			fmt.Printf("best learning rate: %.4f\n", r.BestLR())
+		case "10":
+			fmt.Println("== Fig 10: optimal-action rate vs steps for greedy rates ==")
+			r, err := experiments.Fig10(lcfg, nil)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "11":
+			fmt.Println("== Fig 11: optimal-action rate vs network width ==")
+			r, err := experiments.Fig11(lcfg, nil, *runs)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "12":
+			fmt.Println("== Fig 12: per-day computing overhead ==")
+			r, err := getLab().Fig12()
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "13":
+			fmt.Println("== Fig 13: aggregation enhancement ==")
+			r, err := getLab().Fig13(*psi)
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "breakdown":
+			fmt.Println("== Extension: per-method cost breakdown ==")
+			if err := getLab().CostBreakdownTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown figure %q", name))
+		}
+		fmt.Println()
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"7", "8", "12", "13", "breakdown", "9", "10", "11"} {
+			run(f)
+		}
+		return
+	}
+	for _, f := range strings.Split(*fig, ",") {
+		run(strings.TrimSpace(f))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command minicost runs the full MiniCost pipeline on a workload: load (or
+// generate) a trace, train the RL agent on the first portion, serve the
+// remainder day by day against the simulated store, and report the bill
+// next to the paper's baselines.
+//
+// Usage:
+//
+//	minicost -files 500 -days 42 -train-steps 200000
+//	minicost -trace trace.csv -split 0.8 -aggregate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"minicost"
+)
+
+func main() {
+	var (
+		tracePath  = flag.String("trace", "", "trace CSV (default: generate synthetically)")
+		files      = flag.Int("files", 500, "files when generating")
+		days       = flag.Int("days", 42, "days when generating")
+		seed       = flag.Uint64("seed", 1, "seed")
+		steps      = flag.Int64("train-steps", 200000, "A3C training steps")
+		split      = flag.Float64("split", 0.5, "fraction of days used for training history")
+		aggregateE = flag.Bool("aggregate", false, "enable the concurrent-request aggregation enhancement")
+		filters    = flag.Int("filters", 32, "conv filters (paper: 128)")
+		hidden     = flag.Int("hidden", 64, "hidden neurons (paper: 128)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *files, *days, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cut := int(float64(tr.Days) * *split)
+	if cut < 8 || tr.Days-cut < 7 {
+		fatal(fmt.Errorf("split %.2f leaves too little data (train %d days, serve %d)", *split, cut, tr.Days-cut))
+	}
+	hist, err := tr.Window(0, cut)
+	if err != nil {
+		fatal(err)
+	}
+	serve, err := tr.Window(cut, tr.Days)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := minicost.DefaultConfig()
+	cfg.TrainSteps = *steps
+	cfg.A3C.Net.Filters = *filters
+	cfg.A3C.Net.Hidden = *hidden
+	cfg.A3C.Seed = *seed
+	if *aggregateE {
+		agg := minicost.DefaultAggregationConfig()
+		cfg.Aggregation = &agg
+	}
+	sys, err := minicost.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "training on %d files x %d days (%d steps)...\n", hist.NumFiles(), hist.Days, *steps)
+	start := time.Now()
+	stats, err := sys.Train(hist)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained: %d steps, %d episodes, mean reward %.3f (%s)\n",
+		stats.Steps, stats.Episodes, stats.MeanReward(), time.Since(start).Round(time.Millisecond))
+
+	report, err := sys.Run(serve)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "method\ttotal $\tstorage\tread\twrite\ttransition\n")
+	row := func(name string, bd minicost.Breakdown) {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n", name, bd.Total(), bd.Storage, bd.Read, bd.Write, bd.Transition)
+	}
+	for _, b := range []struct {
+		name string
+		a    minicost.Assigner
+	}{
+		{"hot", minicost.HotBaseline()},
+		{"cold", minicost.ColdBaseline()},
+		{"greedy", minicost.GreedyBaseline()},
+		{"optimal", minicost.OptimalBaseline()},
+	} {
+		bd, err := minicost.EvaluateAssigner(b.a, serve, minicost.AzurePricing())
+		if err != nil {
+			fatal(err)
+		}
+		row(b.name, bd)
+	}
+	row("minicost", report.Total)
+	w.Flush()
+	fmt.Printf("tier changes: %d, decision time: %s total (%.3f ms/file/day)\n",
+		report.TierChanges, report.TotalDecisionTime().Round(time.Millisecond),
+		report.TotalDecisionTime().Seconds()*1000/float64(serve.NumFiles()*serve.Days))
+	if *aggregateE {
+		fmt.Printf("aggregated groups active at end: %d\n", report.AggregatedGroups)
+	}
+}
+
+func loadTrace(path string, files, days int, seed uint64) (*minicost.Trace, error) {
+	if path == "" {
+		cfg := minicost.DefaultTraceConfig()
+		cfg.NumFiles = files
+		cfg.Days = days
+		cfg.Seed = seed
+		return minicost.GenerateTrace(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return minicost.ReadTraceCSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicost:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command minicostd serves a trained MiniCost agent over HTTP — the agent
+// server of the paper's §4.2, deployed next to the web application. The web
+// application POSTs each day's per-file request statistics to /v1/observe
+// and fetches the tier assignment plan from /v1/plan.
+//
+// The agent comes from a checkpoint written by `minicost-train` (or any
+// code calling rl.Agent.Save); without one, minicostd bootstraps by
+// training on a synthetic workload so the service is demonstrable out of
+// the box.
+//
+// Usage:
+//
+//	minicostd -checkpoint agent.ckpt -addr :8080
+//	minicostd -bootstrap-steps 200000 -save agent.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"minicost/internal/agentserver"
+	"minicost/internal/core"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/trace"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		checkpoint = flag.String("checkpoint", "", "agent checkpoint to load")
+		save       = flag.String("save", "", "write the (possibly bootstrapped) agent checkpoint here")
+		steps      = flag.Int64("bootstrap-steps", 200000, "training steps when bootstrapping without a checkpoint")
+		filters    = flag.Int("filters", 32, "conv filters when bootstrapping")
+		hidden     = flag.Int("hidden", 64, "hidden neurons when bootstrapping")
+	)
+	flag.Parse()
+
+	agent, err := loadOrBootstrap(*checkpoint, *steps, *filters, *hidden)
+	if err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := agent.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "minicostd: checkpoint written to %s\n", *save)
+	}
+
+	srv, err := agentserver.New(agent, pricing.Hot)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "minicostd: serving on %s (hist window %d days)\n", *addr, agent.Net.HistLen)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := server.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+// loadOrBootstrap loads a checkpoint or trains a fresh agent on a synthetic
+// workload.
+func loadOrBootstrap(path string, steps int64, filters, hidden int) (*rl.Agent, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		agent, err := rl.LoadAgent(f)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "minicostd: loaded agent from %s\n", path)
+		return agent, nil
+	}
+	fmt.Fprintf(os.Stderr, "minicostd: no checkpoint; bootstrapping on a synthetic workload (%d steps)...\n", steps)
+	gen := trace.DefaultGenConfig()
+	gen.NumFiles = 500
+	gen.Days = 42
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.TrainSteps = steps
+	cfg.A3C.Net.Filters = filters
+	cfg.A3C.Net.Hidden = hidden
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := sys.Train(tr); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "minicostd: bootstrapped in %s\n", time.Since(start).Round(time.Second))
+	return sys.Agent(), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicostd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command traceanalysis reproduces the paper's trace-analysis figures
+// (§3.1): Fig. 2 (volatility histogram), Fig. 3 (potential savings per
+// σ bucket), Fig. 4 (ARIMA prediction-error distribution).
+//
+// Usage:
+//
+//	traceanalysis -fig 2            # one figure
+//	traceanalysis -fig all -files 4000 -days 63
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minicost/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to reproduce: 2, 3, 4 or all")
+		files = flag.Int("files", 2000, "number of files")
+		days  = flag.Int("days", 63, "trace days")
+		seed  = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Full()
+	cfg.Files = *files
+	cfg.Days = *days
+	cfg.Seed = *seed
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "2":
+			fmt.Println("== Fig 2: files per daily-request-frequency sigma bucket ==")
+			lab.Fig2().Render(os.Stdout)
+		case "3":
+			fmt.Println("== Fig 3: potential saved money per sigma bucket ==")
+			r, err := lab.Fig3()
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		case "4":
+			fmt.Println("== Fig 4: ARIMA 7-day prediction error per sigma bucket ==")
+			r, err := lab.Fig4()
+			if err != nil {
+				fatal(err)
+			}
+			r.Render(os.Stdout)
+		default:
+			fatal(fmt.Errorf("unknown figure %q (want 2, 3, 4 or all)", name))
+		}
+		fmt.Println()
+	}
+	if *fig == "all" {
+		for _, f := range []string{"2", "3", "4"} {
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceanalysis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command tracegen generates a synthetic Wikipedia-like workload trace and
+// writes it as CSV (see internal/trace for the format). The generator is
+// calibrated to the paper's trace measurements: Fig. 2 volatility-bucket
+// shares, Poisson file sizes with a 100 MB mean, and ~weekly request
+// cycles.
+//
+// Usage:
+//
+//	tracegen -files 2000 -days 63 -seed 1 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minicost"
+)
+
+func main() {
+	var (
+		files   = flag.Int("files", 2000, "number of data files")
+		days    = flag.Int("days", 63, "trace length in days")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		meanMB  = flag.Float64("mean-size-mb", 100, "mean file size (MB, Poisson)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		summary = flag.Bool("summary", false, "print workload statistics instead of CSV")
+	)
+	flag.Parse()
+
+	cfg := minicost.DefaultTraceConfig()
+	cfg.NumFiles = *files
+	cfg.Days = *days
+	cfg.Seed = *seed
+	cfg.MeanSizeGB = *meanMB / 1024
+
+	tr, err := minicost.GenerateTrace(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *summary {
+		hist := tr.SigmaHistogram()
+		fmt.Printf("files: %d, days: %d, groups: %d, total requests: %.0f\n",
+			tr.NumFiles(), tr.Days, len(tr.Groups), tr.TotalRequests())
+		for b, count := range hist {
+			fmt.Printf("  sigma %-8s %7d files\n", bucketLabel(b), count)
+		}
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+}
+
+func bucketLabel(b int) string {
+	labels := []string{"0-0.1", "0.1-0.3", "0.3-0.5", "0.5-0.8", ">0.8"}
+	return labels[b]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Agentservice demonstrates the paper's deployment shape (§4.2): the
+// MiniCost agent runs as an HTTP service next to the web application, which
+// reports each day's per-file request statistics and fetches the tier
+// assignment plan.
+//
+// The example trains a small agent, serves it on a loopback listener, and
+// then plays a two-week workload through the HTTP API — the same loop a
+// production cron job would run daily.
+//
+//	go run ./examples/agentservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"minicost"
+)
+
+func main() {
+	// 1. Train a small agent (a real deployment would load a checkpoint).
+	traceCfg := minicost.DefaultTraceConfig()
+	traceCfg.NumFiles = 200
+	traceCfg.Days = 28
+	history, err := minicost.GenerateTrace(traceCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := minicost.DefaultConfig()
+	cfg.TrainSteps = 150000
+	cfg.A3C.Net.Filters = 16
+	cfg.A3C.Net.Hidden = 32
+	sys, err := minicost.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training the agent...")
+	if _, err := sys.Train(history); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Serve it over HTTP on a loopback port.
+	srv, err := minicost.NewAgentServer(sys, minicost.Hot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("agent service listening on %s\n\n", base)
+
+	// 3. The web application's daily loop: observe, then plan.
+	client := minicost.NewAgentClient(base)
+	live, err := minicost.GenerateTrace(func() minicost.TraceConfig {
+		c := traceCfg
+		c.Seed = 99
+		c.NumFiles = 50
+		c.Days = 14
+		return c
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalTransitions := 0
+	for day := 0; day < live.Days; day++ {
+		obs := make([]minicost.AgentFileObservation, live.NumFiles())
+		for i := 0; i < live.NumFiles(); i++ {
+			obs[i] = minicost.AgentFileObservation{
+				ID:     fmt.Sprintf("file-%03d", i),
+				SizeGB: live.Files[i].SizeGB,
+				Reads:  live.Reads[i][day],
+				Writes: live.Writes[i][day],
+			}
+		}
+		if _, err := client.Observe(&minicost.AgentObserveRequest{Files: obs}); err != nil {
+			log.Fatal(err)
+		}
+		plan, err := client.Plan()
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalTransitions += plan.Transition
+		if day%7 == 6 {
+			fmt.Printf("day %2d: plan for %d files in %.2f ms, %d transitions this day\n",
+				day+1, len(plan.Files), plan.ElapsedMS, plan.Transition)
+		}
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserved %d plans over %d observations; %d tier transitions executed in total\n",
+		stats.PlansServed, stats.Observations, totalTransitions)
+
+	// Show the final placement mix.
+	plan, err := client.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, f := range plan.Files {
+		counts[f.Tier]++
+	}
+	fmt.Printf("final placement: hot=%d cool=%d archive=%d\n", counts["hot"], counts["cool"], counts["archive"])
+}

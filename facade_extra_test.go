@@ -1,0 +1,72 @@
+package minicost_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"minicost"
+)
+
+func TestDeploymentThroughFacade(t *testing.T) {
+	catalog := minicost.NewCatalog()
+	if err := catalog.Add("us", minicost.AzurePricing()); err != nil {
+		t.Fatal(err)
+	}
+	eu := minicost.AzurePricing()
+	eu.Name = "eu"
+	eu.Tiers[minicost.Hot].StoragePerGBMonth *= 1.5
+	if err := catalog.Add("eu", eu); err != nil {
+		t.Fatal(err)
+	}
+	d, err := minicost.NewDeployment(catalog, "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := smallTrace(t)
+	spread, err := minicost.AssignDatacenters(tr, []string{"us", "eu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bills, total, err := d.Evaluate(minicost.GreedyBaseline(), spread, minicost.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bills) != 2 || total.Total() <= 0 {
+		t.Fatalf("bills %d total %v", len(bills), total.Total())
+	}
+}
+
+func TestAgentServerThroughFacade(t *testing.T) {
+	tr := smallTrace(t)
+	cfg := minicost.DefaultConfig()
+	cfg.TrainSteps = 0 // untrained snapshot is fine for API plumbing
+	sys, err := minicost.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := minicost.NewAgentServer(sys, minicost.Hot); err == nil {
+		t.Fatal("server from untrained system accepted")
+	}
+	if _, err := sys.Train(tr); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := minicost.NewAgentServer(sys, minicost.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := minicost.NewAgentClient(ts.URL)
+	if _, err := client.Observe(&minicost.AgentObserveRequest{
+		Files: []minicost.AgentFileObservation{{ID: "a", SizeGB: 0.1, Reads: 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := client.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Files) != 1 || plan.Files[0].ID != "a" {
+		t.Fatalf("plan %+v", plan)
+	}
+}

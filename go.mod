@@ -1,0 +1,3 @@
+module minicost
+
+go 1.22

@@ -1,0 +1,278 @@
+// Package agentserver exposes a trained MiniCost agent as an HTTP service —
+// the deployment shape the paper describes in §4.2: "a reinforcement
+// learning agent, which is responsible for generating the data storage type
+// assignment plan periodically, is deployed on a server belonging to the
+// web application. It monitors the request frequencies, changes of data
+// storage types and the change of data size."
+//
+// The service ingests daily per-file observations (POST /v1/observe),
+// maintains each file's trailing frequency history, and produces tier
+// assignment plans (GET /v1/plan) with the greedy policy of the loaded
+// agent. Everything is stdlib net/http + encoding/json.
+package agentserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+)
+
+// FileObservation is one file's daily measurement.
+type FileObservation struct {
+	ID     string  `json:"id"`
+	SizeGB float64 `json:"size_gb"`
+	Reads  float64 `json:"reads"`
+	Writes float64 `json:"writes"`
+}
+
+// ObserveRequest is the POST /v1/observe payload: one day's observations.
+type ObserveRequest struct {
+	Files []FileObservation `json:"files"`
+}
+
+// ObserveResponse reports ingestion counts.
+type ObserveResponse struct {
+	Accepted int `json:"accepted"`
+	Tracked  int `json:"tracked"`
+}
+
+// PlanEntry is one file's assignment in a plan.
+type PlanEntry struct {
+	ID   string `json:"id"`
+	Tier string `json:"tier"`
+	// Changed reports whether this decision differs from the file's current
+	// tier (i.e. a transition the operator must execute).
+	Changed bool `json:"changed"`
+}
+
+// PlanResponse is the GET /v1/plan payload.
+type PlanResponse struct {
+	Day        int         `json:"day"`
+	Files      []PlanEntry `json:"files"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Transition int         `json:"transitions"`
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	TrackedFiles int     `json:"tracked_files"`
+	Observations int64   `json:"observations"`
+	PlansServed  int64   `json:"plans_served"`
+	LastPlanMS   float64 `json:"last_plan_ms"`
+	HistLen      int     `json:"hist_len"`
+}
+
+// fileState is the server-side record of one tracked file.
+type fileState struct {
+	sizeGB float64
+	tier   pricing.Tier
+	reads  []float64 // trailing window, most recent last
+	writes []float64
+}
+
+// Server wraps an agent with observation state. Create with New, mount via
+// Handler.
+type Server struct {
+	mu      sync.Mutex
+	agent   *rl.Agent
+	histLen int
+	initial pricing.Tier
+	files   map[string]*fileState
+	day     int
+
+	observations int64
+	plansServed  int64
+	lastPlanMS   float64
+}
+
+// New builds a server around a trained agent. Files start in initial
+// (usually hot).
+func New(agent *rl.Agent, initial pricing.Tier) (*Server, error) {
+	if agent == nil {
+		return nil, errors.New("agentserver: nil agent")
+	}
+	if !initial.Valid() {
+		return nil, errors.New("agentserver: invalid initial tier")
+	}
+	return &Server{
+		agent:   agent.Clone(),
+		histLen: agent.Net.HistLen,
+		initial: initial,
+		files:   make(map[string]*fileState),
+	}, nil
+}
+
+// observe ingests one day's batch.
+func (s *Server) observe(req *ObserveRequest) (*ObserveResponse, error) {
+	if len(req.Files) == 0 {
+		return nil, errors.New("agentserver: empty observation batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range req.Files {
+		if f.ID == "" {
+			return nil, errors.New("agentserver: observation without id")
+		}
+		if f.SizeGB <= 0 || f.Reads < 0 || f.Writes < 0 {
+			return nil, fmt.Errorf("agentserver: invalid observation for %q", f.ID)
+		}
+		st, ok := s.files[f.ID]
+		if !ok {
+			st = &fileState{tier: s.initial}
+			s.files[f.ID] = st
+		}
+		st.sizeGB = f.SizeGB
+		st.reads = appendWindow(st.reads, f.Reads, s.histLen)
+		st.writes = appendWindow(st.writes, f.Writes, s.histLen)
+		s.observations++
+	}
+	s.day++
+	return &ObserveResponse{Accepted: len(req.Files), Tracked: len(s.files)}, nil
+}
+
+func appendWindow(w []float64, v float64, histLen int) []float64 {
+	w = append(w, v)
+	if len(w) > histLen {
+		w = w[len(w)-histLen:]
+	}
+	return w
+}
+
+// plan produces the current assignment for every tracked file and commits
+// the decisions as the files' current tiers (the operator is assumed to
+// execute the plan, as System.Run does).
+func (s *Server) plan() (*PlanResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.files) == 0 {
+		return nil, errors.New("agentserver: no observations yet")
+	}
+	start := time.Now()
+	ids := make([]string, 0, len(s.files))
+	for id := range s.files {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	resp := &PlanResponse{Day: s.day, Files: make([]PlanEntry, 0, len(ids))}
+	for _, id := range ids {
+		st := s.files[id]
+		state := mdp.State{
+			ReadHistory:  padWindow(st.reads, s.histLen),
+			WriteHistory: padWindow(st.writes, s.histLen),
+			SizeGB:       st.sizeGB,
+			Tier:         st.tier,
+		}
+		tier := s.agent.Decide(&state)
+		changed := tier != st.tier
+		if changed {
+			resp.Transition++
+		}
+		st.tier = tier
+		resp.Files = append(resp.Files, PlanEntry{ID: id, Tier: tier.String(), Changed: changed})
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.plansServed++
+	s.lastPlanMS = resp.ElapsedMS
+	return resp, nil
+}
+
+// padWindow left-pads a short history by repeating its first value, the
+// same cold-start convention mdp.Env uses.
+func padWindow(w []float64, histLen int) []float64 {
+	if len(w) >= histLen {
+		return append([]float64(nil), w[len(w)-histLen:]...)
+	}
+	out := make([]float64, histLen)
+	first := 0.0
+	if len(w) > 0 {
+		first = w[0]
+	}
+	for i := 0; i < histLen-len(w); i++ {
+		out[i] = first
+	}
+	copy(out[histLen-len(w):], w)
+	return out
+}
+
+// stats snapshots counters.
+func (s *Server) stats() *StatsResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &StatsResponse{
+		TrackedFiles: len(s.files),
+		Observations: s.observations,
+		PlansServed:  s.plansServed,
+		LastPlanMS:   s.lastPlanMS,
+		HistLen:      s.histLen,
+	}
+}
+
+// Handler returns the HTTP mux:
+//
+//	POST /v1/observe  ingest one day's observations
+//	GET  /v1/plan     current assignment plan (commits decisions)
+//	GET  /v1/stats    counters
+//	GET  /v1/healthz  liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var req ObserveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+			return
+		}
+		resp, err := s.observe(&req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		resp, err := s.plan()
+		if err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.stats())
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

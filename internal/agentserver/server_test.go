@@ -1,0 +1,242 @@
+package agentserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+)
+
+func testAgent() *rl.Agent {
+	cfg := rl.NetConfig{HistLen: 7, Filters: 8, Kernel: 4, Stride: 1, Hidden: 16}
+	return rl.NewAgent(cfg, cfg.BuildActor(rng.New(4)))
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	s, err := New(testAgent(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL)
+}
+
+func obs(id string, reads float64) FileObservation {
+	return FileObservation{ID: id, SizeGB: 0.1, Reads: reads, Writes: reads * 0.01}
+}
+
+func TestObserveAndPlan(t *testing.T) {
+	_, c := newTestServer(t)
+	// Feed a week of observations for two files.
+	for d := 0; d < 7; d++ {
+		resp, err := c.Observe(&ObserveRequest{Files: []FileObservation{
+			obs("busy", 5000),
+			obs("idle", 0.001),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Accepted != 2 || resp.Tracked != 2 {
+			t.Fatalf("observe resp %+v", resp)
+		}
+	}
+	plan, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Files) != 2 {
+		t.Fatalf("plan covers %d files", len(plan.Files))
+	}
+	// Sorted by id; every tier valid.
+	if plan.Files[0].ID != "busy" || plan.Files[1].ID != "idle" {
+		t.Fatalf("plan order %+v", plan.Files)
+	}
+	for _, f := range plan.Files {
+		if _, err := pricing.ParseTier(f.Tier); err != nil {
+			t.Fatalf("invalid tier %q", f.Tier)
+		}
+	}
+	if plan.Day != 7 {
+		t.Fatalf("plan day %d", plan.Day)
+	}
+	// Second plan: tiers were committed, so unchanged decisions must report
+	// Changed=false.
+	plan2, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range plan2.Files {
+		if f.Tier == plan.Files[i].Tier && f.Changed {
+			t.Fatalf("unchanged decision flagged as change: %+v", f)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TrackedFiles != 2 || stats.Observations != 14 || stats.PlansServed != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestPlanBeforeObserveFails(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Plan(); err == nil {
+		t.Fatal("plan without observations accepted")
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	_, c := newTestServer(t)
+	for name, req := range map[string]*ObserveRequest{
+		"empty":         {},
+		"no-id":         {Files: []FileObservation{{SizeGB: 0.1}}},
+		"zero-size":     {Files: []FileObservation{{ID: "x"}}},
+		"negative-read": {Files: []FileObservation{{ID: "x", SizeGB: 0.1, Reads: -1}}},
+	} {
+		if _, err := c.Observe(req); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestHTTPMethodsAndHealth(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	// Wrong methods rejected.
+	resp, err = http.Get(ts.URL + "/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET observe = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST plan = %d", resp.StatusCode)
+	}
+	// Malformed JSON rejected.
+	resp, err = http.Post(ts.URL+"/v1/observe", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentObserveAndPlan(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{obs("seed", 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if w%2 == 0 {
+					if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{
+						obs("seed", float64(i)),
+						obs("other", 100),
+					}}); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := c.Plan(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestWindowHelpers(t *testing.T) {
+	w := []float64{}
+	for i := 1; i <= 10; i++ {
+		w = appendWindow(w, float64(i), 7)
+	}
+	if len(w) != 7 || w[0] != 4 || w[6] != 10 {
+		t.Fatalf("window %v", w)
+	}
+	padded := padWindow([]float64{5, 6}, 5)
+	want := []float64{5, 5, 5, 5, 6}
+	for i := range want {
+		if padded[i] != want[i] {
+			t.Fatalf("padded %v", padded)
+		}
+	}
+	empty := padWindow(nil, 3)
+	for _, v := range empty {
+		if v != 0 {
+			t.Fatalf("empty pad %v", empty)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, pricing.Hot); err == nil {
+		t.Fatal("nil agent accepted")
+	}
+	if _, err := New(testAgent(), pricing.Tier(9)); err == nil {
+		t.Fatal("invalid tier accepted")
+	}
+}
+
+func BenchmarkPlan1kFiles(b *testing.B) {
+	s, err := New(testAgent(), pricing.Hot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	files := make([]FileObservation, 1000)
+	for i := range files {
+		files[i] = obs("f"+itoa(i), float64(i))
+	}
+	for d := 0; d < 7; d++ {
+		if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.plan(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,213 @@
+// Package costmodel implements the MiniCost payment model, Eqs. 5–9 of the
+// paper: the total cost C = Cs + Cc + Cr + Cw, where
+//
+//	Cs = Σ X_{d,p} · u_p · D_d              storage        (Eq. 6)
+//	Cr = Σ F_r · (u_rf + u_rs · D_d)        read requests  (Eq. 7)
+//	Cw = Σ F_w · (u_wf + u_ws · D_d)        write requests (Eq. 8)
+//	Cc = Σ Θ_d · u_tran · D_d               tier changes   (Eq. 9)
+//
+// Prices come from a pricing.Policy; storage is prorated per day (u_p is a
+// $/GB-month list price). All frequencies are daily counts; the per-day
+// granularity matches the paper's daily billing ("the payment made to CSP is
+// calculated by days", §6.1).
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"minicost/internal/par"
+	"minicost/internal/pricing"
+	"minicost/internal/trace"
+)
+
+// Breakdown is one cost observation split into the paper's four components.
+type Breakdown struct {
+	Storage    float64 // Cs
+	Read       float64 // Cr
+	Write      float64 // Cw
+	Transition float64 // Cc
+}
+
+// Total returns Cs + Cc + Cr + Cw (Eq. 5).
+func (b Breakdown) Total() float64 { return b.Storage + b.Read + b.Write + b.Transition }
+
+// Add returns the componentwise sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Storage:    b.Storage + o.Storage,
+		Read:       b.Read + o.Read,
+		Write:      b.Write + o.Write,
+		Transition: b.Transition + o.Transition,
+	}
+}
+
+// String renders the breakdown for reports.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=$%.4f (storage=$%.4f read=$%.4f write=$%.4f transition=$%.4f)",
+		b.Total(), b.Storage, b.Read, b.Write, b.Transition)
+}
+
+// Model evaluates costs under one price policy.
+type Model struct {
+	Policy *pricing.Policy
+	// ChargeRetention additionally bills Azure-style early-deletion when a
+	// file leaves a tier before the tier's MinRetentionDays (an extension
+	// beyond Eq. 9; off in all paper reproductions).
+	ChargeRetention bool
+}
+
+// New returns a model over the given policy.
+func New(p *pricing.Policy) *Model { return &Model{Policy: p} }
+
+// StorageDay returns one day of storage cost for sizeGB bytes in tier (Eq. 6
+// prorated daily).
+func (m *Model) StorageDay(tier pricing.Tier, sizeGB float64) float64 {
+	return m.Policy.StoragePerGBDay(tier) * sizeGB
+}
+
+// ReadCost returns the cost of `reads` read operations against a file of
+// sizeGB in tier (Eq. 7).
+func (m *Model) ReadCost(tier pricing.Tier, sizeGB, reads float64) float64 {
+	tp := m.Policy.Tiers[tier]
+	return reads * (m.Policy.ReadOpPrice(tier) + tp.RetrievalPerGB*sizeGB)
+}
+
+// WriteCost returns the cost of `writes` write operations (Eq. 8).
+func (m *Model) WriteCost(tier pricing.Tier, sizeGB, writes float64) float64 {
+	tp := m.Policy.Tiers[tier]
+	return writes * (m.Policy.WriteOpPrice(tier) + tp.IngressPerGB*sizeGB)
+}
+
+// TransitionCost returns the one-time cost of moving a file of sizeGB
+// between tiers (Eq. 9); zero when from == to.
+func (m *Model) TransitionCost(from, to pricing.Tier, sizeGB float64) float64 {
+	if from == to {
+		return 0
+	}
+	return m.Policy.TransitionPerGB * sizeGB
+}
+
+// Day computes one file-day of cost: the file spent the day in `tier`,
+// having been in `prev` the day before (a tier change is billed when they
+// differ), receiving the given read and write frequencies.
+func (m *Model) Day(prev, tier pricing.Tier, sizeGB, reads, writes float64) Breakdown {
+	return Breakdown{
+		Storage:    m.StorageDay(tier, sizeGB),
+		Read:       m.ReadCost(tier, sizeGB, reads),
+		Write:      m.WriteCost(tier, sizeGB, writes),
+		Transition: m.TransitionCost(prev, tier, sizeGB),
+	}
+}
+
+// Plan is a per-day tier assignment for one file.
+type Plan []pricing.Tier
+
+// Uniform returns a plan keeping one tier for the given number of days.
+func Uniform(tier pricing.Tier, days int) Plan {
+	p := make(Plan, days)
+	for i := range p {
+		p[i] = tier
+	}
+	return p
+}
+
+// Changes counts the tier transitions inside the plan starting from initial.
+func (p Plan) Changes(initial pricing.Tier) int {
+	n := 0
+	prev := initial
+	for _, t := range p {
+		if t != prev {
+			n++
+		}
+		prev = t
+	}
+	return n
+}
+
+// ErrPlanLength reports a plan whose length disagrees with the series.
+var ErrPlanLength = errors.New("costmodel: plan length != number of days")
+
+// PlanCost evaluates a per-file plan against its daily read/write series.
+// initial is the tier the file occupied before day 0; a change on day 0 is
+// billed like any other. Retention billing (if enabled) charges the
+// remaining-days balance of the source tier's minimum retention whenever a
+// file leaves a tier early, matching Azure's early-deletion rule.
+func (m *Model) PlanCost(initial pricing.Tier, plan Plan, sizeGB float64, reads, writes []float64) (Breakdown, error) {
+	if len(plan) != len(reads) || len(plan) != len(writes) {
+		return Breakdown{}, ErrPlanLength
+	}
+	var total Breakdown
+	prev := initial
+	daysInTier := 0
+	for d, tier := range plan {
+		bd := m.Day(prev, tier, sizeGB, reads[d], writes[d])
+		if m.ChargeRetention && tier != prev {
+			if min := m.Policy.Tiers[prev].MinRetentionDays; daysInTier < min {
+				// Bill the unserved remainder as storage-days of the source tier.
+				bd.Transition += float64(min-daysInTier) * m.StorageDay(prev, sizeGB)
+			}
+			daysInTier = 0
+		}
+		if tier == prev {
+			daysInTier++
+		} else {
+			daysInTier = 1
+		}
+		total = total.Add(bd)
+		prev = tier
+	}
+	return total, nil
+}
+
+// Assignment is a full data-storage-type assignment plan: one Plan per file
+// (the paper's action a = (a_0 … a_N)).
+type Assignment []Plan
+
+// UniformAssignment assigns every file the same constant tier.
+func UniformAssignment(tier pricing.Tier, files, days int) Assignment {
+	out := make(Assignment, files)
+	for i := range out {
+		out[i] = Uniform(tier, days)
+	}
+	return out
+}
+
+// TraceCost evaluates an assignment against a trace, in parallel across
+// files. initial gives each file's day-(-1) tier; a nil initial means every
+// file starts in Hot. The returned slice holds each file's breakdown; sum
+// them with SumBreakdowns for the total bill.
+func (m *Model) TraceCost(tr *trace.Trace, asg Assignment, initial []pricing.Tier, workers int) ([]Breakdown, error) {
+	n := tr.NumFiles()
+	if len(asg) != n {
+		return nil, fmt.Errorf("costmodel: assignment covers %d files, trace has %d", len(asg), n)
+	}
+	if initial != nil && len(initial) != n {
+		return nil, fmt.Errorf("costmodel: initial tiers cover %d files, trace has %d", len(initial), n)
+	}
+	for i := range asg {
+		if len(asg[i]) != tr.Days {
+			return nil, fmt.Errorf("costmodel: file %d: %w", i, ErrPlanLength)
+		}
+	}
+	out := make([]Breakdown, n)
+	par.For(n, workers, func(i int) {
+		init := pricing.Hot
+		if initial != nil {
+			init = initial[i]
+		}
+		// Lengths were validated above, so PlanCost cannot fail here.
+		bd, _ := m.PlanCost(init, asg[i], tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i])
+		out[i] = bd
+	})
+	return out, nil
+}
+
+// SumBreakdowns folds per-file breakdowns into a single bill.
+func SumBreakdowns(bds []Breakdown) Breakdown {
+	var total Breakdown
+	for _, b := range bds {
+		total = total.Add(b)
+	}
+	return total
+}

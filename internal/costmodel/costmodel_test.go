@@ -1,0 +1,290 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+func model() *Model { return New(pricing.Azure()) }
+
+func TestStorageDayMatchesEq6(t *testing.T) {
+	m := model()
+	// 100 MB in hot for one day: 0.0184/30.44 * 0.1
+	want := 0.0184 / pricing.DaysPerMonth * 0.1
+	if got := m.StorageDay(pricing.Hot, 0.1); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("StorageDay = %v, want %v", got, want)
+	}
+}
+
+func TestReadCostMatchesEq7(t *testing.T) {
+	m := model()
+	// 5000 reads of a 0.2 GB cool file: 5000*(0.01/10000 + 0.01*0.2)
+	want := 5000 * (0.01/10000 + 0.01*0.2)
+	if got := m.ReadCost(pricing.Cool, 0.2, 5000); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ReadCost = %v, want %v", got, want)
+	}
+	// Hot retrieval is free: only the op charge remains.
+	want = 5000 * (0.0044 / 10000)
+	if got := m.ReadCost(pricing.Hot, 0.2, 5000); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("hot ReadCost = %v, want %v", got, want)
+	}
+}
+
+func TestWriteCostMatchesEq8(t *testing.T) {
+	m := model()
+	want := 100 * (0.10 / 10000) // cool writes, no ingress fee in default policy
+	if got := m.WriteCost(pricing.Cool, 0.2, 100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WriteCost = %v, want %v", got, want)
+	}
+}
+
+func TestTransitionCostMatchesEq9(t *testing.T) {
+	m := model()
+	if got := m.TransitionCost(pricing.Hot, pricing.Hot, 1); got != 0 {
+		t.Fatalf("same-tier transition cost %v", got)
+	}
+	want := 0.0002 * 0.5
+	if got := m.TransitionCost(pricing.Hot, pricing.Archive, 0.5); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("transition cost %v, want %v", got, want)
+	}
+}
+
+func TestDayIsSumOfComponents(t *testing.T) {
+	m := model()
+	bd := m.Day(pricing.Hot, pricing.Cool, 0.1, 100, 5)
+	if bd.Storage != m.StorageDay(pricing.Cool, 0.1) ||
+		bd.Read != m.ReadCost(pricing.Cool, 0.1, 100) ||
+		bd.Write != m.WriteCost(pricing.Cool, 0.1, 5) ||
+		bd.Transition != m.TransitionCost(pricing.Hot, pricing.Cool, 0.1) {
+		t.Fatalf("Day breakdown inconsistent: %v", bd)
+	}
+	sum := bd.Storage + bd.Read + bd.Write + bd.Transition
+	if math.Abs(bd.Total()-sum) > 1e-15 {
+		t.Fatal("Total != component sum")
+	}
+}
+
+func TestBreakdownNonNegativeProperty(t *testing.T) {
+	m := model()
+	f := func(pt, ct uint8, size, reads, writes uint16) bool {
+		prev := pricing.Tier(pt % pricing.NumTiers)
+		cur := pricing.Tier(ct % pricing.NumTiers)
+		bd := m.Day(prev, cur, float64(size)/100+0.001, float64(reads), float64(writes))
+		return bd.Storage >= 0 && bd.Read >= 0 && bd.Write >= 0 && bd.Transition >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCostAdditiveOverDays(t *testing.T) {
+	m := model()
+	reads := []float64{100, 2000, 30, 500}
+	writes := []float64{1, 2, 3, 4}
+	plan := Plan{pricing.Hot, pricing.Cool, pricing.Cool, pricing.Hot}
+	got, err := m.PlanCost(pricing.Hot, plan, 0.1, reads, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want Breakdown
+	prev := pricing.Hot
+	for d := range plan {
+		want = want.Add(m.Day(prev, plan[d], 0.1, reads[d], writes[d]))
+		prev = plan[d]
+	}
+	if math.Abs(got.Total()-want.Total()) > 1e-12 {
+		t.Fatalf("PlanCost %v != day sum %v", got, want)
+	}
+	// Two transitions in this plan (hot->cool, cool->hot).
+	if n := plan.Changes(pricing.Hot); n != 2 {
+		t.Fatalf("Changes = %d, want 2", n)
+	}
+	if math.Abs(got.Transition-2*0.0002*0.1) > 1e-12 {
+		t.Fatalf("transition total %v", got.Transition)
+	}
+}
+
+func TestPlanCostDay0Change(t *testing.T) {
+	m := model()
+	plan := Uniform(pricing.Cool, 3)
+	bd, err := m.PlanCost(pricing.Hot, plan, 0.1, []float64{0, 0, 0}, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd.Transition-0.0002*0.1) > 1e-12 {
+		t.Fatalf("day-0 transition missing: %v", bd.Transition)
+	}
+}
+
+func TestPlanCostLengthMismatch(t *testing.T) {
+	m := model()
+	if _, err := m.PlanCost(pricing.Hot, Uniform(pricing.Hot, 3), 0.1, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRetentionBilling(t *testing.T) {
+	m := model()
+	m.ChargeRetention = true
+	// Stay in cool 2 days then leave; cool minimum is 30 days -> bill 28
+	// remaining days of cool storage on exit.
+	plan := Plan{pricing.Cool, pricing.Cool, pricing.Hot}
+	zero := []float64{0, 0, 0}
+	bd, err := m.PlanCost(pricing.Cool, plan, 1.0, zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transitions: cool->hot on day 2 (initial was cool so day 0 free).
+	wantPenalty := float64(30-2) * m.StorageDay(pricing.Cool, 1.0)
+	wantTransition := 0.0002*1.0 + wantPenalty
+	if math.Abs(bd.Transition-wantTransition) > 1e-9 {
+		t.Fatalf("retention transition %v, want %v", bd.Transition, wantTransition)
+	}
+	// Without the flag there is no penalty.
+	m.ChargeRetention = false
+	bd2, _ := m.PlanCost(pricing.Cool, plan, 1.0, zero, zero)
+	if math.Abs(bd2.Transition-0.0002) > 1e-12 {
+		t.Fatalf("plain transition %v", bd2.Transition)
+	}
+}
+
+func TestHotBeatsCoolForHotFiles(t *testing.T) {
+	// Economic sanity: a frequently-read file is cheaper in hot, a
+	// never-read file cheaper in archive.
+	m := model()
+	days := 30
+	busyReads := make([]float64, days)
+	quiet := make([]float64, days)
+	for i := range busyReads {
+		busyReads[i] = 10000
+	}
+	hotBusy, _ := m.PlanCost(pricing.Hot, Uniform(pricing.Hot, days), 0.1, busyReads, quiet)
+	coolBusy, _ := m.PlanCost(pricing.Cool, Uniform(pricing.Cool, days), 0.1, busyReads, quiet)
+	if hotBusy.Total() >= coolBusy.Total() {
+		t.Fatalf("busy file: hot %v should beat cool %v", hotBusy.Total(), coolBusy.Total())
+	}
+	hotQuiet, _ := m.PlanCost(pricing.Hot, Uniform(pricing.Hot, days), 0.1, quiet, quiet)
+	archQuiet, _ := m.PlanCost(pricing.Archive, Uniform(pricing.Archive, days), 0.1, quiet, quiet)
+	if archQuiet.Total() >= hotQuiet.Total() {
+		t.Fatalf("idle file: archive %v should beat hot %v", archQuiet.Total(), hotQuiet.Total())
+	}
+}
+
+func TestTraceCost(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.NumFiles = 50
+	cfg.Days = 14
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model()
+	asg := UniformAssignment(pricing.Hot, tr.NumFiles(), tr.Days)
+	bds, err := m.TraceCost(tr, asg, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bds) != tr.NumFiles() {
+		t.Fatal("wrong breakdown count")
+	}
+	total := SumBreakdowns(bds)
+	if total.Total() <= 0 {
+		t.Fatal("zero total cost")
+	}
+	if total.Transition != 0 {
+		t.Fatal("uniform hot assignment should have no transitions")
+	}
+	// Serial and parallel evaluation agree exactly.
+	serial, err := m.TraceCost(tr, asg, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bds {
+		if bds[i] != serial[i] {
+			t.Fatal("parallel/serial mismatch")
+		}
+	}
+	// Mismatched shapes rejected.
+	if _, err := m.TraceCost(tr, asg[:10], nil, 0); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	if _, err := m.TraceCost(tr, asg, make([]pricing.Tier, 3), 0); err == nil {
+		t.Fatal("short initial accepted")
+	}
+	badAsg := UniformAssignment(pricing.Hot, tr.NumFiles(), tr.Days-1)
+	if _, err := m.TraceCost(tr, badAsg, nil, 0); err == nil {
+		t.Fatal("short plans accepted")
+	}
+}
+
+func TestTraceCostRespectsInitialTiers(t *testing.T) {
+	cfg := trace.DefaultGenConfig()
+	cfg.NumFiles = 10
+	cfg.Days = 7
+	tr, _ := trace.Generate(cfg)
+	m := model()
+	asg := UniformAssignment(pricing.Cool, tr.NumFiles(), tr.Days)
+	initCool := make([]pricing.Tier, tr.NumFiles())
+	for i := range initCool {
+		initCool[i] = pricing.Cool
+	}
+	fromHot, _ := m.TraceCost(tr, asg, nil, 0) // default initial = hot
+	fromCool, _ := m.TraceCost(tr, asg, initCool, 0)
+	dh, dc := SumBreakdowns(fromHot), SumBreakdowns(fromCool)
+	if dc.Transition != 0 {
+		t.Fatal("cool->cool should be free")
+	}
+	if dh.Transition <= 0 {
+		t.Fatal("hot->cool day-0 transitions missing")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := Breakdown{Storage: 1, Read: 2, Write: 3, Transition: 4}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func BenchmarkPlanCost35Days(b *testing.B) {
+	m := model()
+	r := rng.New(1)
+	days := 35
+	reads := make([]float64, days)
+	writes := make([]float64, days)
+	plan := make(Plan, days)
+	for i := range reads {
+		reads[i] = r.Float64() * 1000
+		writes[i] = r.Float64() * 20
+		plan[i] = pricing.Tier(r.Intn(3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PlanCost(pricing.Hot, plan, 0.1, reads, writes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceCost1k(b *testing.B) {
+	cfg := trace.DefaultGenConfig()
+	cfg.NumFiles = 1000
+	cfg.Days = 35
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model()
+	asg := UniformAssignment(pricing.Hot, tr.NumFiles(), tr.Days)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TraceCost(tr, asg, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"minicost/internal/aggregate"
+	"minicost/internal/policy"
+	"minicost/internal/pricing"
+	"minicost/internal/trace"
+)
+
+// MethodNames lists the paper's five methods in Fig. 7/8 plot order.
+var MethodNames = []string{"hot", "cold", "greedy", "minicost", "optimal"}
+
+// Fig7Result reproduces Fig. 7: total monetary cost for all files versus
+// the number of days, for the five methods.
+type Fig7Result struct {
+	Days  []int
+	Costs map[string][]float64 // method -> cost at each horizon
+}
+
+// Fig7 evaluates the five methods on the test split over growing horizons
+// (7, 14, …, up to the trace length).
+func (l *Lab) Fig7() (*Fig7Result, error) {
+	assigners, err := l.assigners(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Costs: make(map[string][]float64)}
+	for days := 7; days <= l.Test.Days && days <= 35; days += 7 {
+		res.Days = append(res.Days, days)
+	}
+	if len(res.Days) == 0 {
+		return nil, fmt.Errorf("experiments: test trace too short (%d days)", l.Test.Days)
+	}
+	for _, days := range res.Days {
+		window, err := l.Test.Window(0, days)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range assigners {
+			bd, err := l.evalCost(a, window)
+			if err != nil {
+				return nil, err
+			}
+			res.Costs[canonicalName(a)] = append(res.Costs[canonicalName(a)], bd.Total())
+		}
+	}
+	return res, nil
+}
+
+// canonicalName maps assigner names onto the paper's method labels.
+func canonicalName(a policy.Assigner) string {
+	switch a.Name() {
+	case "hot":
+		return "hot"
+	case "cool", "cold":
+		return "cold"
+	case "greedy", "greedy-oracle":
+		return "greedy"
+	case "minicost":
+		return "minicost"
+	case "optimal":
+		return "optimal"
+	}
+	return a.Name()
+}
+
+// Render writes the Fig. 7 series.
+func (r *Fig7Result) Render(w io.Writer) {
+	rows := [][]string{{"days"}}
+	rows[0] = append(rows[0], MethodNames...)
+	for i, d := range r.Days {
+		row := []string{fmt.Sprintf("%d", d)}
+		for _, m := range MethodNames {
+			if series, ok := r.Costs[m]; ok && i < len(series) {
+				row = append(row, f4(series[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, rows)
+}
+
+// Fig8Result reproduces Fig. 8: daily monetary cost per σ bucket for the
+// five methods.
+type Fig8Result struct {
+	Costs map[string][trace.NumBuckets]float64
+	Files [trace.NumBuckets]int
+}
+
+// Fig8 evaluates each method and buckets per-file costs by realized CV,
+// normalised per day.
+func (l *Lab) Fig8() (*Fig8Result, error) {
+	assigners, err := l.assigners(true)
+	if err != nil {
+		return nil, err
+	}
+	tr := l.Test
+	res := &Fig8Result{Costs: make(map[string][trace.NumBuckets]float64)}
+	buckets := make([]int, tr.NumFiles())
+	for i := range buckets {
+		buckets[i] = trace.BucketOf(trace.SigmaCV(tr.Reads[i]))
+		res.Files[buckets[i]]++
+	}
+	init := make([]pricing.Tier, tr.NumFiles())
+	for i := range init {
+		init[i] = pricing.Hot
+	}
+	for _, a := range assigners {
+		asg, err := a.Assign(tr, l.Model, pricing.Hot)
+		if err != nil {
+			return nil, err
+		}
+		bds, err := l.Model.TraceCost(tr, asg, init, l.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		var byBucket [trace.NumBuckets]float64
+		for i, bd := range bds {
+			byBucket[buckets[i]] += bd.Total() / float64(tr.Days)
+		}
+		res.Costs[canonicalName(a)] = byBucket
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 8 table.
+func (r *Fig8Result) Render(w io.Writer) {
+	rows := [][]string{{"sigma-bucket", "files"}}
+	rows[0] = append(rows[0], MethodNames...)
+	for b := 0; b < trace.NumBuckets; b++ {
+		row := []string{trace.BucketLabel(b), fmt.Sprintf("%d", r.Files[b])}
+		for _, m := range MethodNames {
+			if series, ok := r.Costs[m]; ok {
+				row = append(row, fmt.Sprintf("%.5f", series[b]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, rows)
+}
+
+// Fig12Result reproduces Fig. 12: per-day computing overhead of the online
+// methods, measured on this machine and linearly extrapolated to the
+// paper's 4 M files.
+type Fig12Result struct {
+	Days int
+	// MeasuredPerDay is the mean wall-clock seconds one decision day takes
+	// at the lab's file count; ScaledMinutes extrapolates to 4 M files.
+	MeasuredPerDay map[string]float64
+	ScaledMinutes  map[string]float64
+	Files          int
+}
+
+// Fig12 times each online method's daily decision loop.
+func (l *Lab) Fig12() (*Fig12Result, error) {
+	agent, err := l.TrainAgent()
+	if err != nil {
+		return nil, err
+	}
+	tr := l.Test
+	res := &Fig12Result{
+		Days:           tr.Days,
+		Files:          tr.NumFiles(),
+		MeasuredPerDay: make(map[string]float64),
+		ScaledMinutes:  make(map[string]float64),
+	}
+	methods := []policy.Assigner{
+		Hot(),
+		Cold(),
+		policy.Greedy{Workers: 1},
+		policy.RL{Agent: agent, HistLen: l.Cfg.Net.HistLen, Workers: 1},
+	}
+	for _, a := range methods {
+		start := time.Now()
+		if _, err := a.Assign(tr, l.Model, pricing.Hot); err != nil {
+			return nil, err
+		}
+		perDay := time.Since(start).Seconds() / float64(tr.Days)
+		name := canonicalName(a)
+		res.MeasuredPerDay[name] = perDay
+		res.ScaledMinutes[name] = perDay * float64(PaperScaleFiles) / float64(tr.NumFiles()) / 60
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 12 table.
+func (r *Fig12Result) Render(w io.Writer) {
+	rows := [][]string{{"method", "s/day@" + fmt.Sprint(r.Files) + "files", "min/day@4Mfiles"}}
+	names := make([]string, 0, len(r.MeasuredPerDay))
+	for n := range r.MeasuredPerDay {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rows = append(rows, []string{n, fmt.Sprintf("%.6f", r.MeasuredPerDay[n]), fmt.Sprintf("%.3f", r.ScaledMinutes[n])})
+	}
+	renderTable(w, rows)
+}
+
+// Fig13Result reproduces Fig. 13: total cost versus days for Greedy,
+// MiniCost, MiniCost with the aggregation enhancement, and Optimal.
+type Fig13Result struct {
+	Days             []int
+	Costs            map[string][]float64
+	AggregatedGroups int
+}
+
+// Fig13 evaluates the enhancement: groups with positive Ω (top-Ψ, measured
+// over the first week) are aggregated and all methods re-priced on the
+// rewritten request stream.
+func (l *Lab) Fig13(psi int) (*Fig13Result, error) {
+	agent, err := l.TrainAgent()
+	if err != nil {
+		return nil, err
+	}
+	// Aggregation is evaluated on the full workload: the 80/20 file split
+	// tears concurrency groups apart (a group survives a Subset only when
+	// every member lands on the same side), and the enhancement is an
+	// operational mechanism, not a generalisation test.
+	tr := l.Trace
+	if len(tr.Groups) == 0 {
+		return nil, aggregate.ErrNoGroups
+	}
+	cfg := aggregate.DefaultConfig()
+	if psi > 0 {
+		cfg.Psi = psi
+	}
+	scores, err := aggregate.ScoreGroups(tr, l.Model, cfg, minInt(cfg.WindowDays, tr.Days))
+	if err != nil {
+		return nil, err
+	}
+	top := aggregate.SelectTop(scores, cfg.Psi)
+	groups := make([]int, len(top))
+	for i, s := range top {
+		groups[i] = s.Group
+	}
+	aggTr := tr
+	if len(groups) > 0 {
+		aggTr, err = aggregate.ApplyToTrace(tr, groups)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	mini := policy.RL{Agent: agent, HistLen: l.Cfg.Net.HistLen, Workers: l.Cfg.Workers}
+	res := &Fig13Result{Costs: make(map[string][]float64), AggregatedGroups: len(groups)}
+	for days := 7; days <= tr.Days && days <= 35; days += 7 {
+		res.Days = append(res.Days, days)
+	}
+	for _, days := range res.Days {
+		window, err := tr.Window(0, days)
+		if err != nil {
+			return nil, err
+		}
+		aggWindow, err := aggTr.Window(0, days)
+		if err != nil {
+			return nil, err
+		}
+		for name, eval := range map[string]struct {
+			a  policy.Assigner
+			tr *trace.Trace
+		}{
+			"greedy":       {policy.Greedy{Workers: l.Cfg.Workers}, window},
+			"minicost":     {mini, window},
+			"minicost-w/E": {mini, aggWindow},
+			"optimal":      {policy.Optimal{Workers: l.Cfg.Workers}, window},
+		} {
+			bd, err := l.evalCost(eval.a, eval.tr)
+			if err != nil {
+				return nil, err
+			}
+			res.Costs[name] = append(res.Costs[name], bd.Total())
+		}
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 13 series.
+func (r *Fig13Result) Render(w io.Writer) {
+	methods := []string{"greedy", "minicost", "minicost-w/E", "optimal"}
+	rows := [][]string{append([]string{"days"}, methods...)}
+	for i, d := range r.Days {
+		row := []string{fmt.Sprintf("%d", d)}
+		for _, m := range methods {
+			row = append(row, f4(r.Costs[m][i]))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, rows)
+	fmt.Fprintf(w, "aggregated groups: %d\n", r.AggregatedGroups)
+}
+
+// CostBreakdownTable renders a per-method component breakdown on the test
+// split — an extension table useful for understanding where each method
+// spends.
+func (l *Lab) CostBreakdownTable(w io.Writer) error {
+	assigners, err := l.assigners(true)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"method", "total", "storage", "read", "write", "transition"}}
+	for _, a := range assigners {
+		bd, err := l.evalCost(a, l.Test)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			canonicalName(a), f4(bd.Total()), f4(bd.Storage), f4(bd.Read), f4(bd.Write), f4(bd.Transition),
+		})
+	}
+	renderTable(w, rows)
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

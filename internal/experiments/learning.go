@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/policy"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/trace"
+)
+
+// LearningConfig scales the convergence experiments (Figs. 9–11). They run
+// on a dedicated small workload: the statistic of interest is the *optimal
+// action rate* — the share of (file, day) decisions matching the DP-optimal
+// assignment over a 14-day window (§6.3) — which needs many training runs,
+// so the workload must stay small.
+type LearningConfig struct {
+	Files int
+	Days  int
+	Seed  uint64
+	Net   rl.NetConfig
+	// ChunkSteps is the training-step granularity between evaluations.
+	ChunkSteps int64
+	// MaxSteps caps a run that never reaches TargetRate.
+	MaxSteps int64
+	// TargetRate is the optimal-action rate that counts as "converged"
+	// (the paper's agent "makes the same decision as Optimal does in 14
+	// days"). Calibration note: cost-optimal behaviour does not require
+	// matching Optimal's exact daily decisions (several tiers are often
+	// cost-equivalent, and Optimal times transitions with hindsight), so
+	// the achievable plateau here is ~0.66 — even the near-optimal Greedy
+	// only matches 0.74. The default target sits below the plateau so the
+	// sweeps measure speed-to-competence rather than an unreachable bar;
+	// the paper's 95 % rates imply a coarser decision space.
+	TargetRate float64
+	Workers    int
+}
+
+// DefaultLearningConfig returns the profile used by cmd/experiments.
+func DefaultLearningConfig() LearningConfig {
+	return LearningConfig{
+		Files:      120,
+		Days:       21,
+		Seed:       1,
+		Net:        rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32},
+		ChunkSteps: 25000,
+		MaxSteps:   250000,
+		TargetRate: 0.55,
+	}
+}
+
+// QuickLearningConfig returns a profile for tests and benches.
+func QuickLearningConfig() LearningConfig {
+	cfg := DefaultLearningConfig()
+	cfg.Files = 60
+	cfg.ChunkSteps = 10000
+	cfg.MaxSteps = 80000
+	cfg.TargetRate = 0.55
+	return cfg
+}
+
+// learnLab is the shared state of a convergence experiment.
+type learnLab struct {
+	cfg     LearningConfig
+	model   *costmodel.Model
+	tr      *trace.Trace
+	optimal costmodel.Assignment
+}
+
+func newLearnLab(cfg LearningConfig) (*learnLab, error) {
+	gen := trace.DefaultGenConfig()
+	gen.NumFiles = cfg.Files
+	gen.Days = cfg.Days
+	gen.Seed = cfg.Seed
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		return nil, err
+	}
+	model := costmodel.New(pricing.Azure())
+	opt, err := policy.Optimal{Workers: cfg.Workers}.Assign(tr, model, pricing.Hot)
+	if err != nil {
+		return nil, err
+	}
+	return &learnLab{cfg: cfg, model: model, tr: tr, optimal: opt}, nil
+}
+
+// rate computes the agent's optimal-action rate on the lab workload.
+func (ll *learnLab) rate(agent *rl.Agent) (float64, error) {
+	asg, err := policy.RL{Agent: agent, HistLen: ll.cfg.Net.HistLen, Workers: ll.cfg.Workers}.
+		Assign(ll.tr, ll.model, pricing.Hot)
+	if err != nil {
+		return 0, err
+	}
+	return policy.MatchRate(asg, ll.optimal), nil
+}
+
+// trainUntil trains an A3C under trainCfg, evaluating every ChunkSteps, and
+// returns the step counts and rates at each checkpoint plus the step at
+// which TargetRate was first reached (MaxSteps if never).
+func (ll *learnLab) trainUntil(trainCfg rl.A3CConfig) (steps []int64, rates []float64, converged int64, err error) {
+	a3c, err := rl.NewA3C(trainCfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	factory, err := rl.TraceFactory(ll.model, ll.tr, trainCfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	converged = ll.cfg.MaxSteps
+	for target := ll.cfg.ChunkSteps; target <= ll.cfg.MaxSteps; target += ll.cfg.ChunkSteps {
+		if _, err := a3c.Train(factory, target); err != nil {
+			return nil, nil, 0, err
+		}
+		r, err := ll.rate(a3c.Snapshot())
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		steps = append(steps, a3c.Steps())
+		rates = append(rates, r)
+		if r >= ll.cfg.TargetRate && converged == ll.cfg.MaxSteps {
+			converged = a3c.Steps()
+			break
+		}
+	}
+	return steps, rates, converged, nil
+}
+
+// baseTrainConfig returns the A3C configuration the sweeps start from.
+func (ll *learnLab) baseTrainConfig() rl.A3CConfig {
+	cfg := rl.DefaultA3CConfig()
+	cfg.Net = ll.cfg.Net
+	cfg.Workers = 2
+	cfg.Seed = ll.cfg.Seed
+	// Constant learning rate inside the sweeps: annealing would confound
+	// the comparison across rates and epsilons.
+	cfg.FinalLRFraction = 1
+	return cfg
+}
+
+// Fig9Result reproduces Fig. 9: steps to convergence versus learning rate.
+type Fig9Result struct {
+	LearningRates []float64
+	Steps         []int64
+	MaxSteps      int64
+}
+
+// PaperLearningRates is Fig. 9's sweep (a subset of the 19 points keeps the
+// run tractable; pass your own list for the full sweep).
+var PaperLearningRates = []float64{0.0001, 0.0004, 0.001, 0.0019, 0.0028, 0.0037, 0.0046, 0.0055}
+
+// Fig9 sweeps the learning rate and reports steps until the agent's
+// decisions match Optimal at the target rate.
+func Fig9(cfg LearningConfig, lrs []float64) (*Fig9Result, error) {
+	if len(lrs) == 0 {
+		lrs = PaperLearningRates
+	}
+	ll, err := newLearnLab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{LearningRates: lrs, MaxSteps: cfg.MaxSteps}
+	for _, lr := range lrs {
+		tc := ll.baseTrainConfig()
+		tc.LearningRate = lr
+		_, _, converged, err := ll.trainUntil(tc)
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, converged)
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 9 table.
+func (r *Fig9Result) Render(w io.Writer) {
+	rows := [][]string{{"learning-rate", "steps-to-converge"}}
+	for i, lr := range r.LearningRates {
+		s := fmt.Sprintf("%d", r.Steps[i])
+		if r.Steps[i] >= r.MaxSteps {
+			s += " (cap)"
+		}
+		rows = append(rows, []string{fmt.Sprintf("%.4f", lr), s})
+	}
+	renderTable(w, rows)
+}
+
+// BestLR returns the learning rate with the fewest steps.
+func (r *Fig9Result) BestLR() float64 {
+	best := 0
+	for i := range r.Steps {
+		if r.Steps[i] < r.Steps[best] {
+			best = i
+		}
+	}
+	return r.LearningRates[best]
+}
+
+// Fig10Result reproduces Fig. 10: optimal-action rate versus steps for the
+// paper's greedy rates ε ∈ {0.001, 0.01, 0.1}.
+type Fig10Result struct {
+	Epsilons []float64
+	Steps    []int64
+	Rates    map[float64][]float64
+}
+
+// PaperEpsilons is Fig. 10's sweep.
+var PaperEpsilons = []float64{0.001, 0.01, 0.1}
+
+// Fig10 trains one agent per ε and records the optimal-action-rate curve.
+func Fig10(cfg LearningConfig, epsilons []float64) (*Fig10Result, error) {
+	if len(epsilons) == 0 {
+		epsilons = PaperEpsilons
+	}
+	ll, err := newLearnLab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Disable early stopping: the figure wants full curves.
+	ll.cfg.TargetRate = 2
+	res := &Fig10Result{Epsilons: epsilons, Rates: make(map[float64][]float64)}
+	for _, eps := range epsilons {
+		tc := ll.baseTrainConfig()
+		tc.Epsilon = eps
+		steps, rates, _, err := ll.trainUntil(tc)
+		if err != nil {
+			return nil, err
+		}
+		if res.Steps == nil {
+			res.Steps = steps
+		}
+		res.Rates[eps] = rates
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 10 curves.
+func (r *Fig10Result) Render(w io.Writer) {
+	header := []string{"steps"}
+	for _, eps := range r.Epsilons {
+		header = append(header, fmt.Sprintf("eps=%g", eps))
+	}
+	rows := [][]string{header}
+	for i, s := range r.Steps {
+		row := []string{fmt.Sprintf("%d", s)}
+		for _, eps := range r.Epsilons {
+			if curve := r.Rates[eps]; i < len(curve) {
+				row = append(row, f4(curve[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, rows)
+}
+
+// FinalRate returns the last-checkpoint rate for an ε.
+func (r *Fig10Result) FinalRate(eps float64) float64 {
+	curve := r.Rates[eps]
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	return curve[len(curve)-1]
+}
+
+// Fig11Result reproduces Fig. 11: final optimal-action rate versus network
+// width (filters = hidden neurons), with error bars over repeated runs.
+type Fig11Result struct {
+	Widths []int
+	Mean   []float64
+	Std    []float64
+	Runs   int
+}
+
+// PaperWidths is Fig. 11's sweep.
+var PaperWidths = []int{4, 16, 32, 64, 128}
+
+// Fig11 trains `runs` agents per width with different seeds and reports the
+// mean and standard deviation of the final optimal-action rate.
+func Fig11(cfg LearningConfig, widths []int, runs int) (*Fig11Result, error) {
+	if len(widths) == 0 {
+		widths = PaperWidths
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	ll, err := newLearnLab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ll.cfg.TargetRate = 2 // full training for every run
+	res := &Fig11Result{Widths: widths, Runs: runs}
+	for _, width := range widths {
+		rates := make([]float64, 0, runs)
+		for run := 0; run < runs; run++ {
+			tc := ll.baseTrainConfig()
+			tc.Net.Filters = width
+			tc.Net.Hidden = width
+			tc.Seed = cfg.Seed + uint64(run)*1000 + 7
+			_, curve, _, err := ll.trainUntil(tc)
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, curve[len(curve)-1])
+		}
+		mean := 0.0
+		for _, r := range rates {
+			mean += r
+		}
+		mean /= float64(len(rates))
+		variance := 0.0
+		for _, r := range rates {
+			variance += (r - mean) * (r - mean)
+		}
+		if len(rates) > 1 {
+			variance /= float64(len(rates) - 1)
+		}
+		res.Mean = append(res.Mean, mean)
+		res.Std = append(res.Std, math.Sqrt(variance))
+	}
+	return res, nil
+}
+
+// Render writes the Fig. 11 table.
+func (r *Fig11Result) Render(w io.Writer) {
+	rows := [][]string{{"width", fmt.Sprintf("mean-rate(%d runs)", r.Runs), "stddev"}}
+	for i, width := range r.Widths {
+		rows = append(rows, []string{fmt.Sprintf("%d", width), f4(r.Mean[i]), f4(r.Std[i])})
+	}
+	renderTable(w, rows)
+}

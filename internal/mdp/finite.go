@@ -1,0 +1,90 @@
+package mdp
+
+import (
+	"errors"
+	"math"
+)
+
+// Finite is a small tabular MDP with known dynamics, used as ground truth
+// when validating the RL learners: value iteration here gives the exact
+// optimum the learners must approach.
+type Finite struct {
+	NumStates  int
+	NumActions int
+	// Next[s][a] is the deterministic successor state (the paper's MDP has
+	// P(s'|s,a) = 1).
+	Next [][]int
+	// Reward[s][a] is the immediate reward.
+	Reward [][]float64
+	// Terminal marks absorbing states; stepping from them is an error.
+	Terminal []bool
+}
+
+// Validate checks the table shapes and ranges.
+func (f *Finite) Validate() error {
+	if f.NumStates <= 0 || f.NumActions <= 0 {
+		return errors.New("mdp: empty finite MDP")
+	}
+	if len(f.Next) != f.NumStates || len(f.Reward) != f.NumStates || len(f.Terminal) != f.NumStates {
+		return errors.New("mdp: table sizes disagree with NumStates")
+	}
+	for s := 0; s < f.NumStates; s++ {
+		if len(f.Next[s]) != f.NumActions || len(f.Reward[s]) != f.NumActions {
+			return errors.New("mdp: row sizes disagree with NumActions")
+		}
+		for a := 0; a < f.NumActions; a++ {
+			if n := f.Next[s][a]; n < 0 || n >= f.NumStates {
+				return errors.New("mdp: successor out of range")
+			}
+		}
+	}
+	return nil
+}
+
+// ValueIteration computes the optimal state values and a greedy optimal
+// policy under discount gamma in [0,1). Terminal states have value 0.
+func (f *Finite) ValueIteration(gamma, tol float64) (values []float64, policy []int) {
+	values = make([]float64, f.NumStates)
+	policy = make([]int, f.NumStates)
+	for {
+		delta := 0.0
+		for s := 0; s < f.NumStates; s++ {
+			if f.Terminal[s] {
+				continue
+			}
+			best := math.Inf(-1)
+			bestA := 0
+			for a := 0; a < f.NumActions; a++ {
+				q := f.Reward[s][a] + gamma*values[f.Next[s][a]]
+				if q > best {
+					best = q
+					bestA = a
+				}
+			}
+			if d := math.Abs(best - values[s]); d > delta {
+				delta = d
+			}
+			values[s] = best
+			policy[s] = bestA
+		}
+		if delta < tol {
+			return values, policy
+		}
+	}
+}
+
+// QValues returns the full optimal action-value table under gamma given the
+// optimal state values.
+func (f *Finite) QValues(values []float64, gamma float64) [][]float64 {
+	q := make([][]float64, f.NumStates)
+	for s := range q {
+		q[s] = make([]float64, f.NumActions)
+		for a := 0; a < f.NumActions; a++ {
+			if f.Terminal[s] {
+				continue
+			}
+			q[s][a] = f.Reward[s][a] + gamma*values[f.Next[s][a]]
+		}
+	}
+	return q
+}

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a sequential stack of layers with flat parameter access.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork stacks the given layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{layers: layers} }
+
+// Forward runs the stack on one sample.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward back-propagates dy through the stack (after a Forward), returning
+// the input gradient and accumulating parameter gradients.
+func (n *Network) Backward(dy []float64) []float64 {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		dy = n.layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns every parameter block in the stack.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// OutDim returns the output dimension for an input of dimension in.
+func (n *Network) OutDim(in int) int {
+	for _, l := range n.layers {
+		in = l.OutDim(in)
+	}
+	return in
+}
+
+// ZeroGrad clears every gradient accumulator.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value)
+	}
+	return total
+}
+
+// ParamVector copies all parameters into one flat vector.
+func (n *Network) ParamVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.Value...)
+	}
+	return out
+}
+
+// SetParamVector loads parameters from a flat vector (layout must match
+// ParamVector's).
+func (n *Network) SetParamVector(v []float64) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("nn: SetParamVector len %d, want %d", len(v), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.Value, v[off:off+len(p.Value)])
+		off += len(p.Value)
+	}
+}
+
+// GradVector copies all accumulated gradients into one flat vector.
+func (n *Network) GradVector() []float64 {
+	return n.GradVectorInto(nil)
+}
+
+// GradVectorInto copies gradients into dst (reallocating if it is too
+// small) and returns it; pass a reused buffer to avoid per-update
+// allocation in training loops.
+func (n *Network) GradVectorInto(dst []float64) []float64 {
+	total := n.NumParams()
+	if cap(dst) < total {
+		dst = make([]float64, total)
+	}
+	dst = dst[:total]
+	off := 0
+	for _, p := range n.Params() {
+		copy(dst[off:], p.Grad)
+		off += len(p.Grad)
+	}
+	return dst
+}
+
+// Clone deep-copies the network (parameters and gradients; activation caches
+// are not carried over).
+func (n *Network) Clone() *Network {
+	out := &Network{layers: make([]Layer, len(n.layers))}
+	for i, l := range n.layers {
+		out.layers[i] = l.clone()
+	}
+	return out
+}
+
+// Softmax returns the softmax of logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// ClipGrads scales the flat gradient vector down to the given L2 norm if it
+// exceeds it, in place; a non-positive maxNorm is a no-op.
+func ClipGrads(grads []float64, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	ss := 0.0
+	for _, g := range grads {
+		ss += g * g
+	}
+	norm := math.Sqrt(ss)
+	if norm <= maxNorm {
+		return
+	}
+	scale := maxNorm / norm
+	for i := range grads {
+		grads[i] *= scale
+	}
+}

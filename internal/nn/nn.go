@@ -1,0 +1,333 @@
+// Package nn is the from-scratch neural-network substrate behind MiniCost's
+// A3C agent (§6.1 of the paper: a Conv1D front-end of 128 filters, size 4,
+// stride 1, feeding a 128-neuron hidden layer; here parameterizable so
+// Fig. 11's width sweep can run).
+//
+// The design is deliberately minimal: single-sample forward/backward (A3C
+// applies n-step updates sample by sample), float64 everywhere, layers
+// exposing flat parameter/gradient vectors so the RL package can host a
+// locked global parameter server and copy weights into per-worker replicas.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"minicost/internal/rng"
+)
+
+// Param is one layer's parameter block with its gradient accumulator.
+type Param struct {
+	Value []float64
+	Grad  []float64
+}
+
+// Layer is a differentiable module. Forward must cache whatever Backward
+// needs; Backward consumes the gradient w.r.t. its output, accumulates
+// parameter gradients, and returns the gradient w.r.t. its input.
+//
+// Buffer ownership: the slices Forward and Backward return are owned by the
+// layer and overwritten by its next Forward/Backward call — copy them if
+// they must outlive that. This keeps the single-sample training loop
+// allocation-free, which the A3C workers depend on.
+type Layer interface {
+	Forward(x []float64) []float64
+	Backward(dy []float64) []float64
+	Params() []*Param
+	OutDim(inDim int) int
+	clone() Layer
+}
+
+// Dense is a fully connected layer y = W·x + b.
+type Dense struct {
+	In, Out int
+	w, b    Param
+	x       []float64 // cached input
+	y, dx   []float64 // reused output/input-gradient buffers
+}
+
+// NewDense constructs a Dense layer with Xavier/Glorot uniform init.
+func NewDense(r *rng.RNG, in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense %dx%d", in, out))
+	}
+	d := &Dense{In: in, Out: out}
+	d.w = Param{Value: make([]float64, out*in), Grad: make([]float64, out*in)}
+	d.b = Param{Value: make([]float64, out), Grad: make([]float64, out)}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range d.w.Value {
+		d.w.Value[i] = (2*r.Float64() - 1) * limit
+	}
+	return d
+}
+
+// Forward computes W·x + b.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense input %d, want %d", len(x), d.In))
+	}
+	d.x = x
+	if d.y == nil {
+		d.y = make([]float64, d.Out)
+	}
+	y := d.y
+	for o := 0; o < d.Out; o++ {
+		row := d.w.Value[o*d.In : (o+1)*d.In]
+		s := d.b.Value[o]
+		for i, v := range x {
+			s += row[i] * v
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates dW = dy·xᵀ, db = dy and returns Wᵀ·dy.
+func (d *Dense) Backward(dy []float64) []float64 {
+	if len(dy) != d.Out {
+		panic("nn: Dense Backward dim mismatch")
+	}
+	if d.dx == nil {
+		d.dx = make([]float64, d.In)
+	}
+	dx := d.dx
+	for i := range dx {
+		dx[i] = 0
+	}
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		d.b.Grad[o] += g
+		row := d.w.Value[o*d.In : (o+1)*d.In]
+		grow := d.w.Grad[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * d.x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the weight and bias blocks.
+func (d *Dense) Params() []*Param { return []*Param{&d.w, &d.b} }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim(int) int { return d.Out }
+
+func (d *Dense) clone() Layer {
+	c := &Dense{In: d.In, Out: d.Out}
+	c.w = cloneParam(d.w)
+	c.b = cloneParam(d.b)
+	return c
+}
+
+// Conv1D is a one-dimensional convolution over a single input channel with
+// Filters output channels, kernel size Kernel and stride Stride. The output
+// is flattened channel-major: out[f*outLen+t].
+type Conv1D struct {
+	InLen, Filters, Kernel, Stride int
+	w, b                           Param // w[f*Kernel+k], b[f]
+	x                              []float64
+	y, dx                          []float64 // reused buffers
+}
+
+// NewConv1D constructs the layer; the paper's setting is Filters=128,
+// Kernel=4, Stride=1.
+func NewConv1D(r *rng.RNG, inLen, filters, kernel, stride int) *Conv1D {
+	if inLen <= 0 || filters <= 0 || kernel <= 0 || stride <= 0 || kernel > inLen {
+		panic(fmt.Sprintf("nn: invalid Conv1D inLen=%d filters=%d kernel=%d stride=%d", inLen, filters, kernel, stride))
+	}
+	c := &Conv1D{InLen: inLen, Filters: filters, Kernel: kernel, Stride: stride}
+	c.w = Param{Value: make([]float64, filters*kernel), Grad: make([]float64, filters*kernel)}
+	c.b = Param{Value: make([]float64, filters), Grad: make([]float64, filters)}
+	limit := math.Sqrt(6.0 / float64(kernel+filters))
+	for i := range c.w.Value {
+		c.w.Value[i] = (2*r.Float64() - 1) * limit
+	}
+	return c
+}
+
+// outLen returns the number of output positions per filter.
+func (c *Conv1D) outLen() int { return (c.InLen-c.Kernel)/c.Stride + 1 }
+
+// Forward computes the cross-correlation of x with every filter.
+func (c *Conv1D) Forward(x []float64) []float64 {
+	if len(x) != c.InLen {
+		panic(fmt.Sprintf("nn: Conv1D input %d, want %d", len(x), c.InLen))
+	}
+	c.x = x
+	ol := c.outLen()
+	if c.y == nil {
+		c.y = make([]float64, c.Filters*ol)
+	}
+	y := c.y
+	for f := 0; f < c.Filters; f++ {
+		w := c.w.Value[f*c.Kernel : (f+1)*c.Kernel]
+		bias := c.b.Value[f]
+		for t := 0; t < ol; t++ {
+			s := bias
+			base := t * c.Stride
+			for k := 0; k < c.Kernel; k++ {
+				s += w[k] * x[base+k]
+			}
+			y[f*ol+t] = s
+		}
+	}
+	return y
+}
+
+// Backward accumulates filter gradients and returns the input gradient.
+func (c *Conv1D) Backward(dy []float64) []float64 {
+	ol := c.outLen()
+	if len(dy) != c.Filters*ol {
+		panic("nn: Conv1D Backward dim mismatch")
+	}
+	if c.dx == nil {
+		c.dx = make([]float64, c.InLen)
+	}
+	dx := c.dx
+	for i := range dx {
+		dx[i] = 0
+	}
+	for f := 0; f < c.Filters; f++ {
+		w := c.w.Value[f*c.Kernel : (f+1)*c.Kernel]
+		gw := c.w.Grad[f*c.Kernel : (f+1)*c.Kernel]
+		for t := 0; t < ol; t++ {
+			g := dy[f*ol+t]
+			if g == 0 {
+				continue
+			}
+			c.b.Grad[f] += g
+			base := t * c.Stride
+			for k := 0; k < c.Kernel; k++ {
+				gw[k] += g * c.x[base+k]
+				dx[base+k] += g * w[k]
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the filter and bias blocks.
+func (c *Conv1D) Params() []*Param { return []*Param{&c.w, &c.b} }
+
+// OutDim implements Layer.
+func (c *Conv1D) OutDim(int) int { return c.Filters * c.outLen() }
+
+func (c *Conv1D) clone() Layer {
+	cc := &Conv1D{InLen: c.InLen, Filters: c.Filters, Kernel: c.Kernel, Stride: c.Stride}
+	cc.w = cloneParam(c.w)
+	cc.b = cloneParam(c.b)
+	return cc
+}
+
+// ReLU is max(0, x).
+type ReLU struct {
+	mask  []bool
+	y, dx []float64 // reused buffers
+}
+
+// NewReLU returns a ReLU activation.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	if len(r.y) != len(x) {
+		r.y = make([]float64, len(x))
+		r.mask = make([]bool, len(x))
+	}
+	y := r.y
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		} else {
+			y[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	if len(r.dx) != len(dy) {
+		r.dx = make([]float64, len(dy))
+	}
+	dx := r.dx
+	for i, g := range dy {
+		if r.mask[i] {
+			dx[i] = g
+		} else {
+			dx[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer (none).
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim(in int) int { return in }
+
+func (r *ReLU) clone() Layer { return &ReLU{} }
+
+// Split applies Inner to the first Head inputs and passes the remaining
+// inputs through unchanged, concatenating the results. MiniCost uses it to
+// run the conv front-end over the request-frequency history while static
+// features (size, tier one-hot, write stats) bypass it — the paper's
+// "results from these layers are then aggregated with other inputs".
+type Split struct {
+	Head  int
+	Inner *Network
+	y, dx []float64 // reused buffers
+}
+
+// NewSplit wraps inner over the first head inputs.
+func NewSplit(head int, inner *Network) *Split {
+	if head <= 0 {
+		panic("nn: Split head must be positive")
+	}
+	return &Split{Head: head, Inner: inner}
+}
+
+// Forward implements Layer.
+func (s *Split) Forward(x []float64) []float64 {
+	if len(x) < s.Head {
+		panic("nn: Split input shorter than head")
+	}
+	y := s.Inner.Forward(x[:s.Head])
+	if len(s.y) != len(y)+len(x)-s.Head {
+		s.y = make([]float64, len(y)+len(x)-s.Head)
+	}
+	copy(s.y, y)
+	copy(s.y[len(y):], x[s.Head:])
+	return s.y
+}
+
+// Backward implements Layer.
+func (s *Split) Backward(dy []float64) []float64 {
+	innerOut := s.Inner.OutDim(s.Head)
+	dHead := s.Inner.Backward(dy[:innerOut])
+	if len(s.dx) != s.Head+len(dy)-innerOut {
+		s.dx = make([]float64, s.Head+len(dy)-innerOut)
+	}
+	copy(s.dx, dHead)
+	copy(s.dx[s.Head:], dy[innerOut:])
+	return s.dx
+}
+
+// Params implements Layer.
+func (s *Split) Params() []*Param { return s.Inner.Params() }
+
+// OutDim implements Layer.
+func (s *Split) OutDim(in int) int { return s.Inner.OutDim(s.Head) + in - s.Head }
+
+func (s *Split) clone() Layer { return &Split{Head: s.Head, Inner: s.Inner.Clone()} }
+
+func cloneParam(p Param) Param {
+	return Param{
+		Value: append([]float64(nil), p.Value...),
+		Grad:  append([]float64(nil), p.Grad...),
+	}
+}

@@ -1,0 +1,211 @@
+// Package par provides small, dependency-free parallelism helpers used
+// throughout the MiniCost codebase: a bounded parallel-for, a chunked
+// variant for cache-friendly sharding, parallel map/reduce, and a reusable
+// worker pool.
+//
+// All helpers are deterministic in their results (order of side effects is
+// not specified, but every index is visited exactly once) and degrade to a
+// plain serial loop when the worker count is 1 or the input is small.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0.
+// It is GOMAXPROCS at call time, never less than 1.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// serialThreshold is the input size below which parallel helpers run the
+// loop inline; spawning goroutines for a handful of items costs more than
+// it saves.
+const serialThreshold = 64
+
+// For runs fn(i) for every i in [0, n) using at most workers goroutines.
+// workers <= 0 selects DefaultWorkers(). It blocks until all iterations
+// complete. Iterations are distributed dynamically (atomic counter), which
+// balances uneven per-item work at the cost of one atomic op per item.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || n < serialThreshold {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunked runs fn(lo, hi) over contiguous half-open chunks [lo, hi) that
+// partition [0, n). Each chunk is processed by one goroutine; chunks are
+// sized n/workers (±1). Use it when per-item work is tiny and uniform so the
+// atomic counter of For would dominate, e.g. vector arithmetic.
+func ForChunked(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < serialThreshold {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// MapReduce computes a reduction over [0, n): each index i produces
+// mapFn(i), chunk-local partials are combined with combine, and the final
+// value folds every chunk partial into init (in unspecified chunk order, so
+// combine must be associative and commutative for a deterministic result).
+func MapReduce[T any](n, workers int, init T, mapFn func(i int) T, combine func(a, b T) T) T {
+	if n <= 0 {
+		return init
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < serialThreshold {
+		acc := init
+		for i := 0; i < n; i++ {
+			acc = combine(acc, mapFn(i))
+		}
+		return acc
+	}
+	partials := make([]T, workers)
+	ForChunked(n, workers, func(lo, hi int) {
+		// Identify which worker slot this chunk belongs to by its lower
+		// bound; chunk layout matches ForChunked's deterministic split.
+		w := chunkIndex(n, workers, lo)
+		acc := mapFn(lo)
+		for i := lo + 1; i < hi; i++ {
+			acc = combine(acc, mapFn(i))
+		}
+		partials[w] = acc
+	})
+	acc := init
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// chunkIndex inverts ForChunked's partitioning: it returns the worker index
+// whose chunk starts at lo.
+func chunkIndex(n, workers, lo int) int {
+	chunk := n / workers
+	rem := n % workers
+	// Workers [0, rem) own chunk+1 items, the rest own chunk items.
+	if chunk == 0 {
+		return lo
+	}
+	big := rem * (chunk + 1)
+	if lo < big {
+		return lo / (chunk + 1)
+	}
+	return rem + (lo-big)/chunk
+}
+
+// SumFloat64 is a convenience parallel sum of fn(i) over [0, n).
+func SumFloat64(n, workers int, fn func(i int) float64) float64 {
+	return MapReduce(n, workers, 0, fn, func(a, b float64) float64 { return a + b })
+}
+
+// Pool is a fixed-size worker pool for submitting independent tasks.
+// Unlike For, it supports heterogeneous tasks submitted over time.
+// The zero value is not usable; create with NewPool, release with Close.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	done  sync.WaitGroup
+}
+
+// NewPool starts workers goroutines consuming submitted tasks.
+// workers <= 0 selects DefaultWorkers().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{tasks: make(chan func(), workers*2)}
+	p.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.done.Done()
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a task. It may block if the pool's queue is full.
+// Submitting after Close panics.
+func (p *Pool) Submit(task func()) {
+	p.wg.Add(1)
+	p.tasks <- task
+}
+
+// Wait blocks until every task submitted so far has completed.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Close waits for outstanding tasks and stops the workers.
+func (p *Pool) Close() {
+	p.wg.Wait()
+	close(p.tasks)
+	p.done.Wait()
+}

@@ -1,0 +1,160 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 1000} {
+		for _, w := range []int{-1, 1, 2, 3, 16, 2000} {
+			seen := make([]atomic.Int32, max(n, 1))
+			For(n, w, func(i int) { seen[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d w=%d index %d visited %d times", n, w, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedPartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 100, 1023} {
+		for _, w := range []int{1, 2, 7, 64, 5000} {
+			seen := make([]atomic.Int32, max(n, 1))
+			ForChunked(n, w, func(lo, hi int) {
+				if lo >= hi && n > 0 {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d w=%d index %d covered %d times", n, w, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkIndexInvertsPartition(t *testing.T) {
+	for _, n := range []int{64, 100, 1023, 4096} {
+		for _, workers := range []int{2, 3, 7, 64} {
+			if workers > n {
+				continue
+			}
+			chunk := n / workers
+			rem := n % workers
+			lo := 0
+			for w := 0; w < workers; w++ {
+				hi := lo + chunk
+				if w < rem {
+					hi++
+				}
+				if got := chunkIndex(n, workers, lo); got != w {
+					t.Fatalf("n=%d workers=%d lo=%d: chunkIndex=%d want %d", n, workers, lo, got, w)
+				}
+				lo = hi
+			}
+		}
+	}
+}
+
+func TestMapReduceMatchesSerialSum(t *testing.T) {
+	f := func(seed int64, nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw % 2000)
+		w := int(wRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, n)
+		want := 0.0
+		for i := range vals {
+			vals[i] = rng.Float64()
+			want += vals[i]
+		}
+		got := SumFloat64(n, w, func(i int) float64 { return vals[i] })
+		return abs(got-want) < 1e-9*float64(n+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, 4, 42, func(i int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Fatalf("empty reduce = %d, want init 42", got)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	for i := 0; i < 500; i++ {
+		i := i
+		p.Submit(func() { total.Add(int64(i)) })
+	}
+	p.Wait()
+	if got := total.Load(); got != 500*499/2 {
+		t.Fatalf("pool sum = %d, want %d", got, 500*499/2)
+	}
+	// Pool must be reusable after Wait.
+	p.Submit(func() { total.Add(1) })
+	p.Wait()
+	if got := total.Load(); got != 500*499/2+1 {
+		t.Fatalf("pool reuse sum = %d", got)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers must be >= 1")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkForSerial(b *testing.B) {
+	sink := make([]float64, 1<<14)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		For(len(sink), 1, func(i int) { sink[i] = float64(i) * 1.5 })
+	}
+}
+
+func BenchmarkForParallel(b *testing.B) {
+	sink := make([]float64, 1<<14)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		For(len(sink), 0, func(i int) { sink[i] = float64(i) * 1.5 })
+	}
+}
+
+func BenchmarkForChunkedParallel(b *testing.B) {
+	sink := make([]float64, 1<<14)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ForChunked(len(sink), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sink[i] = float64(i) * 1.5
+			}
+		})
+	}
+}

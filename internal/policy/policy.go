@@ -1,0 +1,278 @@
+// Package policy implements the data-storage-type assignment strategies the
+// paper evaluates (§6.1): the Hot and Cold single-tier baselines, the
+// per-day Greedy algorithm, the offline Optimal ("brutal-force") solution —
+// computed exactly by a per-file dynamic program, with a literal brute-force
+// enumerator kept for validation — plus an ARIMA-predictive greedy extension
+// and the adapter that turns a trained RL agent into an assigner.
+package policy
+
+import (
+	"fmt"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/par"
+	"minicost/internal/pricing"
+	"minicost/internal/trace"
+)
+
+// Assigner produces a full per-file, per-day tier assignment for a trace.
+// Online assigners may only use day d information when deciding day d (the
+// paper's Greedy additionally sees day d's own frequencies, matching its
+// "offline greedy for each day" definition); offline assigners see the whole
+// horizon.
+type Assigner interface {
+	Name() string
+	Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error)
+}
+
+// Evaluate runs an assigner and prices its assignment, returning per-file
+// breakdowns and the assignment itself.
+func Evaluate(a Assigner, tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Breakdown, costmodel.Assignment, error) {
+	asg, err := a.Assign(tr, m, initial)
+	if err != nil {
+		return costmodel.Breakdown{}, nil, fmt.Errorf("policy %s: %w", a.Name(), err)
+	}
+	init := make([]pricing.Tier, tr.NumFiles())
+	for i := range init {
+		init[i] = initial
+	}
+	bds, err := m.TraceCost(tr, asg, init, 0)
+	if err != nil {
+		return costmodel.Breakdown{}, nil, fmt.Errorf("policy %s: %w", a.Name(), err)
+	}
+	return costmodel.SumBreakdowns(bds), asg, nil
+}
+
+// Static keeps every file in one tier for the whole horizon (the paper's
+// Hot and Cold baselines).
+type Static struct{ Tier pricing.Tier }
+
+// Name implements Assigner.
+func (s Static) Name() string { return s.Tier.String() }
+
+// Assign implements Assigner.
+func (s Static) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
+	if !s.Tier.Valid() {
+		return nil, fmt.Errorf("policy: invalid static tier %d", int(s.Tier))
+	}
+	return costmodel.UniformAssignment(s.Tier, tr.NumFiles(), tr.Days), nil
+}
+
+// Greedy is the paper's comparison algorithm: each day it assigns each file
+// to the tier minimizing that single day's cost, including the cost of
+// changing the storage type, with no look-ahead ("simply select the storage
+// type with the minimum money cost only for the next day", §3.2).
+//
+// By default it is an online policy, like MiniCost itself: the day-d
+// decision is priced with day d−1's observed frequencies. Oracle switches to
+// the paper's literal offline per-day variant, which sees day d's own
+// frequencies before deciding — still myopic, but clairvoyant within the
+// day.
+type Greedy struct {
+	// Oracle grants same-day knowledge (the paper's "offline greedy for
+	// each day").
+	Oracle bool
+	// Workers bounds parallelism across files; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Assigner.
+func (g Greedy) Name() string {
+	if g.Oracle {
+		return "greedy-oracle"
+	}
+	return "greedy"
+}
+
+// Assign implements Assigner.
+func (g Greedy) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	par.For(tr.NumFiles(), g.Workers, func(i int) {
+		asg[i] = greedyPlan(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, g.Oracle)
+	})
+	return asg, nil
+}
+
+func greedyPlan(m *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier, oracle bool) costmodel.Plan {
+	plan := make(costmodel.Plan, len(reads))
+	cur := initial
+	for d := range reads {
+		// The frequencies the decision is based on: today's own (oracle) or
+		// yesterday's observation (online; day 0 sees day 0, standing in
+		// for the pre-horizon history the operator always has).
+		obs := d
+		if !oracle && d > 0 {
+			obs = d - 1
+		}
+		best := cur
+		bestCost := m.Day(cur, cur, sizeGB, reads[obs], writes[obs]).Total()
+		for _, t := range pricing.AllTiers() {
+			if t == cur {
+				continue
+			}
+			if c := m.Day(cur, t, sizeGB, reads[obs], writes[obs]).Total(); c < bestCost {
+				best, bestCost = t, c
+			}
+		}
+		plan[d] = best
+		cur = best
+	}
+	return plan
+}
+
+// Optimal computes the exact offline minimum-cost assignment. Per-file costs
+// are separable (Eqs. 6–9 sum over files), so the paper's exhaustive search
+// over all assignment plans decomposes per file, where a dynamic program
+// over (day × tier) finds the same optimum in O(D·Γ²) instead of O(Γ^D) —
+// see TestBruteForceMatchesDP for the equivalence proof on small horizons.
+type Optimal struct {
+	Workers int
+}
+
+// Name implements Assigner.
+func (Optimal) Name() string { return "optimal" }
+
+// Assign implements Assigner.
+func (o Optimal) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	par.For(tr.NumFiles(), o.Workers, func(i int) {
+		asg[i], _ = OptimalPlan(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial)
+	})
+	return asg, nil
+}
+
+// OptimalPlan returns one file's exact minimum-cost plan and its cost.
+func OptimalPlan(m *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier) (costmodel.Plan, float64) {
+	days := len(reads)
+	const nt = pricing.NumTiers
+	if days == 0 {
+		return costmodel.Plan{}, 0
+	}
+	// dp[d][t]: minimum cost of days 0..d with the file in tier t during
+	// day d. from[d][t] backtracks the predecessor tier.
+	dp := make([][nt]float64, days)
+	from := make([][nt]int8, days)
+
+	// Per-day, per-tier serving cost (storage + ops, no transition).
+	dayCost := func(d int, t pricing.Tier) float64 {
+		return m.Day(t, t, sizeGB, reads[d], writes[d]).Total()
+	}
+	for t := 0; t < nt; t++ {
+		dp[0][t] = m.TransitionCost(initial, pricing.Tier(t), sizeGB) + dayCost(0, pricing.Tier(t))
+		from[0][t] = int8(initial)
+	}
+	for d := 1; d < days; d++ {
+		for t := 0; t < nt; t++ {
+			tier := pricing.Tier(t)
+			serve := dayCost(d, tier)
+			best := -1
+			bestCost := 0.0
+			for p := 0; p < nt; p++ {
+				c := dp[d-1][p] + m.TransitionCost(pricing.Tier(p), tier, sizeGB)
+				if best < 0 || c < bestCost {
+					best, bestCost = p, c
+				}
+			}
+			dp[d][t] = bestCost + serve
+			from[d][t] = int8(best)
+		}
+	}
+	// Backtrack from the cheapest final tier.
+	last := 0
+	for t := 1; t < nt; t++ {
+		if dp[days-1][t] < dp[days-1][last] {
+			last = t
+		}
+	}
+	plan := make(costmodel.Plan, days)
+	cur := last
+	for d := days - 1; d >= 0; d-- {
+		plan[d] = pricing.Tier(cur)
+		cur = int(from[d][cur])
+	}
+	return plan, dp[days-1][last]
+}
+
+// BruteForce enumerates every Γ^D plan per file — the paper's literal
+// "offline-brutal-force" method. Exponential; only usable for tiny horizons
+// (it refuses beyond MaxDays) and kept as the oracle the DP is tested
+// against.
+type BruteForce struct{}
+
+// MaxDays bounds BruteForce's horizon (3^10 ≈ 59k plans per file).
+const MaxDays = 10
+
+// Name implements Assigner.
+func (BruteForce) Name() string { return "brute-force" }
+
+// Assign implements Assigner.
+func (b BruteForce) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
+	if tr.Days > MaxDays {
+		return nil, fmt.Errorf("policy: brute force limited to %d days, got %d", MaxDays, tr.Days)
+	}
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	for i := 0; i < tr.NumFiles(); i++ {
+		plan, _, err := BruteForcePlan(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial)
+		if err != nil {
+			return nil, err
+		}
+		asg[i] = plan
+	}
+	return asg, nil
+}
+
+// BruteForcePlan exhaustively searches one file's plan space.
+func BruteForcePlan(m *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier) (costmodel.Plan, float64, error) {
+	days := len(reads)
+	if days > MaxDays {
+		return nil, 0, fmt.Errorf("policy: brute force limited to %d days, got %d", MaxDays, days)
+	}
+	total := 1
+	for d := 0; d < days; d++ {
+		total *= pricing.NumTiers
+	}
+	var bestPlan costmodel.Plan
+	bestCost := 0.0
+	plan := make(costmodel.Plan, days)
+	for code := 0; code < total; code++ {
+		c := code
+		for d := 0; d < days; d++ {
+			plan[d] = pricing.Tier(c % pricing.NumTiers)
+			c /= pricing.NumTiers
+		}
+		bd, err := m.PlanCost(initial, plan, sizeGB, reads, writes)
+		if err != nil {
+			return nil, 0, err
+		}
+		if bestPlan == nil || bd.Total() < bestCost {
+			bestPlan = append(costmodel.Plan(nil), plan...)
+			bestCost = bd.Total()
+		}
+	}
+	return bestPlan, bestCost, nil
+}
+
+// MatchRate returns the fraction of (file, day) decisions on which two
+// assignments agree — the paper's "optimal action rate" when b is the
+// Optimal assignment (§6.3).
+func MatchRate(a, b costmodel.Assignment) float64 {
+	total, match := 0, 0
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		for d := range a[i] {
+			if d >= len(b[i]) {
+				break
+			}
+			total++
+			if a[i][d] == b[i][d] {
+				match++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}

@@ -1,0 +1,129 @@
+package policy
+
+import (
+	"minicost/internal/costmodel"
+	"minicost/internal/forecast"
+	"minicost/internal/par"
+	"minicost/internal/pricing"
+	"minicost/internal/trace"
+)
+
+// Predictive is the ARIMA-driven extension the paper's §3 motivates but
+// never evaluates as a policy: every Period days it forecasts each file's
+// next Period daily frequencies with ARIMA and commits to the tier that
+// minimizes the *predicted* period cost (including the transition in).
+//
+// It is an online policy: day-d decisions only use days < d.
+type Predictive struct {
+	// Period is the re-planning cadence in days (the paper's one-week
+	// decision period).
+	Period int
+	// P, D, Q are the ARIMA orders; zero values select ARIMA(7,0,1) — AR
+	// terms covering the weekly cycle plus one MA term.
+	P, D, Q int
+	// MinHistory is the shortest history ARIMA is fitted on; before that
+	// many days the file stays where it is.
+	MinHistory int
+	Workers    int
+}
+
+// DefaultPredictive returns the configuration used in the experiments.
+func DefaultPredictive() Predictive {
+	return Predictive{Period: 7, P: 7, D: 0, Q: 1, MinHistory: 21}
+}
+
+// Name implements Assigner.
+func (Predictive) Name() string { return "arima-predictive" }
+
+// Assign implements Assigner.
+func (p Predictive) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
+	period := p.Period
+	if period <= 0 {
+		period = 7
+	}
+	pp, dd, qq := p.P, p.D, p.Q
+	if pp == 0 && qq == 0 {
+		pp, dd, qq = 7, 0, 1
+	}
+	minHist := p.MinHistory
+	if minHist <= 0 {
+		minHist = 21
+	}
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	par.For(tr.NumFiles(), p.Workers, func(i int) {
+		plan := make(costmodel.Plan, tr.Days)
+		cur := initial
+		size := tr.Files[i].SizeGB
+		for start := 0; start < tr.Days; start += period {
+			end := start + period
+			if end > tr.Days {
+				end = tr.Days
+			}
+			choice := cur
+			if start >= minHist {
+				choice = p.bestTier(m, size, tr.Reads[i][:start], tr.Writes[i][:start], cur, end-start, pp, dd, qq)
+			}
+			for d := start; d < end; d++ {
+				plan[d] = choice
+			}
+			cur = choice
+		}
+		asg[i] = plan
+	})
+	return asg, nil
+}
+
+// bestTier forecasts the next horizon days and scores each tier on the
+// predicted frequencies.
+func (p Predictive) bestTier(m *costmodel.Model, size float64, readHist, writeHist []float64, cur pricing.Tier, horizon, pp, dd, qq int) pricing.Tier {
+	fr := forecastOrMean(readHist, horizon, pp, dd, qq)
+	fw := forecastOrMean(writeHist, horizon, pp, dd, qq)
+	best := cur
+	bestCost := periodCost(m, size, cur, cur, fr, fw)
+	for _, t := range pricing.AllTiers() {
+		if t == cur {
+			continue
+		}
+		if c := periodCost(m, size, cur, t, fr, fw); c < bestCost {
+			best, bestCost = t, c
+		}
+	}
+	return best
+}
+
+// forecastOrMean predicts horizon values with ARIMA, falling back to the
+// trailing mean when the series is too short or degenerate for the fit.
+func forecastOrMean(hist []float64, horizon, p, d, q int) []float64 {
+	if mod, err := forecast.Fit(hist, p, d, q); err == nil {
+		fc := mod.Forecast(horizon)
+		ok := true
+		for i, v := range fc {
+			if v < 0 {
+				fc[i] = 0
+			}
+			if v != v { // NaN guard
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return fc
+		}
+	}
+	mean := trace.Mean(hist)
+	out := make([]float64, horizon)
+	for i := range out {
+		out[i] = mean
+	}
+	return out
+}
+
+// periodCost prices holding `tier` for the whole horizon given predicted
+// frequencies, including the transition from cur.
+func periodCost(m *costmodel.Model, size float64, cur, tier pricing.Tier, reads, writes []float64) float64 {
+	c := m.TransitionCost(cur, tier, size)
+	for i := range reads {
+		c += m.Day(tier, tier, size, reads[i], writes[i]).Total()
+	}
+	return c
+}

@@ -1,0 +1,68 @@
+package policy
+
+import (
+	"fmt"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/par"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/trace"
+)
+
+// RL adapts a trained MiniCost agent into an Assigner: for each file it
+// replays the trace day by day, feeding the agent the trailing history
+// window and applying its greedy decision — exactly the serving loop of
+// Algorithm 1 ("everyday, the trained agent runs one time for all data
+// files").
+type RL struct {
+	Agent   *rl.Agent
+	HistLen int
+	Workers int
+}
+
+// Name implements Assigner.
+func (RL) Name() string { return "minicost" }
+
+// Assign implements Assigner.
+func (p RL) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
+	if p.Agent == nil {
+		return nil, fmt.Errorf("policy: RL assigner without an agent")
+	}
+	histLen := p.HistLen
+	if histLen <= 0 {
+		histLen = p.Agent.Net.HistLen
+	}
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	reward := mdp.DefaultReward()
+	errs := make([]error, tr.NumFiles())
+	par.For(tr.NumFiles(), p.Workers, func(i int) {
+		// Each goroutine needs its own network (activation caches).
+		agent := p.Agent.Clone()
+		env, err := mdp.NewEnv(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, histLen, reward)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		plan := make(costmodel.Plan, tr.Days)
+		state := env.Reset()
+		for d := 0; d < tr.Days; d++ {
+			tier := agent.Decide(&state)
+			next, _, _, _, err := env.Step(tier)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plan[d] = tier
+			state = next
+		}
+		asg[i] = plan
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return asg, nil
+}

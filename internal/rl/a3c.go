@@ -1,0 +1,433 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"minicost/internal/mdp"
+	"minicost/internal/nn"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+)
+
+// A3CConfig configures training. Defaults follow §6.1: learning rate 0.0027
+// (Fig. 9 finds ~0.0028 optimal), greedy rate ε = 0.1, and the paper's
+// network architecture.
+type A3CConfig struct {
+	Net NetConfig
+	// LearningRate is swept by Fig. 9.
+	LearningRate float64
+	// Gamma discounts future rewards; the paper optimizes over a 7-day
+	// horizon, so the default 0.9 keeps ~half the mass within a week.
+	Gamma float64
+	// Epsilon is the greedy (exploration) rate swept by Fig. 10.
+	Epsilon float64
+	// ExploreHold keeps an ε-exploration action for this many consecutive
+	// days. Tier economics mix slowly — entering archive pays a transition
+	// fee that only amortises over days of occupancy — so one-step random
+	// actions always look bad and the policy never discovers cheap tiers.
+	// Sticky exploration samples sustained occupancy instead.
+	ExploreHold int
+	// EntropyBeta weighs the entropy bonus that keeps π from collapsing.
+	EntropyBeta float64
+	// LogitDecay adds an L2 pull on the actor's output logits. The entropy
+	// bonus alone cannot prevent saturation: at π ≈ 1 both the policy and
+	// entropy gradients vanish, and RMSProp amplifies whatever residual
+	// drift remains, so logits run away to magnitudes the policy can never
+	// recover from. The decay term is the one gradient that *grows* with
+	// logit magnitude, bounding saturation at |z| ≈ (typical grad)/decay.
+	LogitDecay float64
+	// NSteps is the rollout length per update (n-step advantage).
+	NSteps int
+	// Workers is the number of asynchronous actor-learners.
+	Workers int
+	// GradClip bounds the global-update L2 norm; <= 0 disables.
+	GradClip float64
+	// NormalizeRewards divides rewards by a running RMS estimate before
+	// computing returns. Eq. 4's reciprocal reward spans many orders of
+	// magnitude across files (idle archive days earn thousands of times the
+	// reward of busy hot days); without normalisation the early positive
+	// advantages collapse the policy onto whatever action is sampled first.
+	NormalizeRewards bool
+	// AdvClip bounds the per-step advantage magnitude used in the policy
+	// gradient (applied after reward normalisation); <= 0 disables.
+	AdvClip float64
+	// CriticLRMult scales the critic's learning rate relative to the
+	// actor's. The critic must track value targets faster than the policy
+	// drifts or early advantages stay one-sided; > 1 is standard.
+	CriticLRMult float64
+	// Optimizer selects "rmsprop" (A3C's default), "adam" or "sgd".
+	Optimizer string
+	// FinalLRFraction linearly anneals the learning rate to this fraction
+	// of LearningRate over a Train call (1 disables annealing). Late-stage
+	// annealing settles the policy oscillation that a constant step size
+	// sustains.
+	FinalLRFraction float64
+	Seed            uint64
+}
+
+// DefaultA3CConfig returns the paper's training configuration.
+func DefaultA3CConfig() A3CConfig {
+	return A3CConfig{
+		Net:              DefaultNetConfig(),
+		LearningRate:     0.0027,
+		Gamma:            0.9,
+		Epsilon:          0.1,
+		ExploreHold:      5,
+		EntropyBeta:      0.01,
+		LogitDecay:       0.01,
+		NSteps:           7,
+		Workers:          4,
+		GradClip:         5,
+		NormalizeRewards: true,
+		AdvClip:          3,
+		CriticLRMult:     5,
+		Optimizer:        "rmsprop",
+		FinalLRFraction:  0.1,
+	}
+}
+
+// Validate checks the configuration.
+func (c A3CConfig) Validate() error {
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.LearningRate <= 0:
+		return fmt.Errorf("rl: learning rate %v", c.LearningRate)
+	case c.Gamma < 0 || c.Gamma >= 1:
+		return fmt.Errorf("rl: gamma %v outside [0,1)", c.Gamma)
+	case c.Epsilon < 0 || c.Epsilon > 1:
+		return fmt.Errorf("rl: epsilon %v", c.Epsilon)
+	case c.NSteps <= 0:
+		return fmt.Errorf("rl: NSteps %d", c.NSteps)
+	case c.Workers <= 0:
+		return fmt.Errorf("rl: Workers %d", c.Workers)
+	case c.EntropyBeta < 0:
+		return fmt.Errorf("rl: EntropyBeta %v", c.EntropyBeta)
+	case c.LogitDecay < 0:
+		return fmt.Errorf("rl: LogitDecay %v", c.LogitDecay)
+	case c.FinalLRFraction < 0 || c.FinalLRFraction > 1:
+		return fmt.Errorf("rl: FinalLRFraction %v", c.FinalLRFraction)
+	}
+	switch c.Optimizer {
+	case "rmsprop", "adam", "sgd":
+	default:
+		return fmt.Errorf("rl: unknown optimizer %q", c.Optimizer)
+	}
+	return nil
+}
+
+func (c A3CConfig) newOptimizer() nn.Optimizer {
+	switch c.Optimizer {
+	case "adam":
+		return nn.NewAdam(c.LearningRate)
+	case "sgd":
+		return nn.NewSGD(c.LearningRate)
+	default:
+		return nn.NewRMSProp(c.LearningRate)
+	}
+}
+
+// A3C is the asynchronous advantage actor–critic trainer of Fig. 6: a
+// mutex-guarded global parameter server (actor + critic vectors and shared
+// optimizer state) that asynchronous workers pull parameters from and push
+// accumulated gradients to.
+type A3C struct {
+	cfg A3CConfig
+
+	mu           sync.Mutex
+	actorParams  []float64
+	criticParams []float64
+	actorOpt     nn.Optimizer
+	criticOpt    nn.Optimizer
+
+	protoActor  *nn.Network
+	protoCritic *nn.Network
+
+	steps atomic.Int64
+}
+
+// NewA3C initializes the global networks and optimizers.
+func NewA3C(cfg A3CConfig) (*A3C, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	actor := cfg.Net.BuildActor(r.Split(1))
+	critic := cfg.Net.BuildCritic(r.Split(2))
+	criticOpt := cfg.newOptimizer()
+	if cfg.CriticLRMult > 0 {
+		criticOpt.SetLearningRate(cfg.LearningRate * cfg.CriticLRMult)
+	}
+	return &A3C{
+		cfg:          cfg,
+		actorParams:  actor.ParamVector(),
+		criticParams: critic.ParamVector(),
+		actorOpt:     cfg.newOptimizer(),
+		criticOpt:    criticOpt,
+		protoActor:   actor,
+		protoCritic:  critic,
+	}, nil
+}
+
+// Config returns the training configuration.
+func (a *A3C) Config() A3CConfig { return a.cfg }
+
+// Steps returns the number of environment steps taken so far.
+func (a *A3C) Steps() int64 { return a.steps.Load() }
+
+// Snapshot returns a serving Agent with the current global actor weights.
+func (a *A3C) Snapshot() *Agent {
+	actor := a.protoActor.Clone()
+	a.mu.Lock()
+	actor.SetParamVector(a.actorParams)
+	a.mu.Unlock()
+	return NewAgent(a.cfg.Net, actor)
+}
+
+// CriticSnapshot returns a copy of the global critic network (diagnostics
+// and the ablation benches use it to inspect learned values).
+func (a *A3C) CriticSnapshot() *nn.Network {
+	critic := a.protoCritic.Clone()
+	a.mu.Lock()
+	critic.SetParamVector(a.criticParams)
+	a.mu.Unlock()
+	return critic
+}
+
+// EnvFactory supplies training episodes; each call must return a fresh (or
+// reset) environment owned exclusively by the calling worker. Factories are
+// called concurrently and must be safe for that.
+type EnvFactory func(r *rng.RNG) *mdp.Env
+
+// Train runs the asynchronous workers until the global step counter reaches
+// totalSteps (Algorithm 1's outer loop). It returns aggregate statistics.
+func (a *A3C) Train(factory EnvFactory, totalSteps int64) (TrainStats, error) {
+	if factory == nil {
+		return TrainStats{}, errors.New("rl: nil env factory")
+	}
+	if totalSteps <= 0 {
+		return TrainStats{}, fmt.Errorf("rl: totalSteps %d", totalSteps)
+	}
+	var wg sync.WaitGroup
+	stats := make([]TrainStats, a.cfg.Workers)
+	for w := 0; w < a.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stats[w] = a.worker(w, factory, totalSteps)
+		}(w)
+	}
+	wg.Wait()
+	var total TrainStats
+	for _, s := range stats {
+		total.Steps += s.Steps
+		total.Episodes += s.Episodes
+		total.RewardSum += s.RewardSum
+		total.CostSum += s.CostSum
+		total.Updates += s.Updates
+	}
+	return total, nil
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	Steps    int64
+	Episodes int64
+	Updates  int64
+	// RewardSum / CostSum accumulate per-step reward and cost; divide by
+	// Steps for means.
+	RewardSum float64
+	CostSum   float64
+}
+
+// MeanReward returns the average per-step reward.
+func (s TrainStats) MeanReward() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return s.RewardSum / float64(s.Steps)
+}
+
+// rollout is one worker-local n-step trajectory segment.
+type rollout struct {
+	features [][]float64
+	actions  []int
+	rewards  []float64
+}
+
+// rewardNorm standardizes rewards with running mean/variance estimates so
+// returns stay centered and O(1) regardless of the reward function's scale.
+// Centering matters as much as scaling: with raw Eq. 4 rewards every action
+// earns a large positive return before the critic converges, so every
+// sampled action is reinforced and the policy saturates on noise.
+type rewardNorm struct {
+	mean, vr float64
+	seen     bool
+}
+
+func (n *rewardNorm) normalize(r float64) float64 {
+	if !n.seen {
+		n.mean = r
+		n.vr = r*r*0.01 + 1e-6
+		n.seen = true
+	} else {
+		d := r - n.mean
+		n.mean += 0.001 * d
+		n.vr = 0.999*n.vr + 0.001*d*d
+	}
+	return (r - n.mean) / math.Sqrt(n.vr+1e-12)
+}
+
+// worker is one asynchronous actor-learner (Fig. 6's per-thread loop).
+func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
+	r := rng.New(a.cfg.Seed).Split(uint64(id) + 0xAC7)
+	actor := a.protoActor.Clone()
+	critic := a.protoCritic.Clone()
+	agent := NewAgent(a.cfg.Net, actor)
+
+	env := factory(r)
+	state := env.Reset()
+	var st TrainStats
+	buf := rollout{}
+	var norm rewardNorm
+	stickyLeft := 0
+	var stickyAction pricing.Tier
+	var aGradBuf, cGradBuf []float64
+	dLogits := make([]float64, mdp.NumActions)
+
+	for a.steps.Load() < totalSteps {
+		// Pull the latest global parameters (Algorithm 1 line 1's "memory"
+		// synchronisation).
+		a.mu.Lock()
+		actor.SetParamVector(a.actorParams)
+		critic.SetParamVector(a.criticParams)
+		a.mu.Unlock()
+		actor.ZeroGrad()
+		critic.ZeroGrad()
+
+		// Collect up to NSteps transitions (lines 3–5).
+		buf.features = buf.features[:0]
+		buf.actions = buf.actions[:0]
+		buf.rewards = buf.rewards[:0]
+		done := false
+		for len(buf.rewards) < a.cfg.NSteps {
+			feats := state.Features()
+			var action pricing.Tier
+			switch {
+			case stickyLeft > 0:
+				action = stickyAction
+				stickyLeft--
+			case a.cfg.Epsilon > 0 && r.Float64() < a.cfg.Epsilon:
+				action = pricing.Tier(r.Intn(mdp.NumActions))
+				stickyAction = action
+				if a.cfg.ExploreHold > 1 {
+					stickyLeft = a.cfg.ExploreHold - 1
+				}
+			default:
+				action = agent.Sample(&state, 0, r)
+			}
+			next, reward, cost, fin, err := env.Step(action)
+			if err != nil {
+				// A finished env slipped through; start a fresh episode.
+				env = factory(r)
+				state = env.Reset()
+				stickyLeft = 0
+				break
+			}
+			buf.features = append(buf.features, feats)
+			buf.actions = append(buf.actions, int(action))
+			if a.cfg.NormalizeRewards {
+				buf.rewards = append(buf.rewards, norm.normalize(reward))
+			} else {
+				buf.rewards = append(buf.rewards, reward)
+			}
+			st.Steps++
+			st.RewardSum += reward
+			st.CostSum += cost
+			a.steps.Add(1)
+			state = next
+			if fin {
+				done = true
+				st.Episodes++
+				env = factory(r)
+				state = env.Reset()
+				stickyLeft = 0
+				break
+			}
+		}
+		if len(buf.rewards) == 0 {
+			continue
+		}
+
+		// n-step return bootstrap (lines 6–8): R = 0 at episode end,
+		// V(s_{t+n}) otherwise.
+		ret := 0.0
+		if !done {
+			ret = critic.Forward(state.Features())[0]
+		}
+		for i := len(buf.rewards) - 1; i >= 0; i-- {
+			ret = buf.rewards[i] + a.cfg.Gamma*ret
+
+			// Critic: minimize 0.5 (V - R)^2.
+			v := critic.Forward(buf.features[i])[0]
+			critic.Backward([]float64{v - ret})
+
+			// Actor: ascend A·∇log π(a|s) + β ∇H(π). Advantage Eq. 10 uses
+			// the critic's value as the baseline V^π(s).
+			adv := ret - v
+			if a.cfg.AdvClip > 0 {
+				adv = math.Max(-a.cfg.AdvClip, math.Min(a.cfg.AdvClip, adv))
+			}
+			logits := actor.Forward(buf.features[i])
+			p := nn.Softmax(logits)
+			h := nn.Entropy(p)
+			for k := range dLogits {
+				grad := adv * p[k] // d(-log π(a))·A / dz_k , part 1
+				if k == buf.actions[i] {
+					grad -= adv
+				}
+				if p[k] > 0 {
+					// Entropy bonus: d(-βH)/dz_k = β π_k (log π_k + H).
+					grad += a.cfg.EntropyBeta * p[k] * (math.Log(p[k]) + h)
+				}
+				// Logit L2 decay (see A3CConfig.LogitDecay).
+				grad += a.cfg.LogitDecay * logits[k]
+				dLogits[k] = grad
+			}
+			actor.Backward(dLogits)
+		}
+
+		// Push accumulated gradients to the global parameters (Eq. 12).
+		aGradBuf = actor.GradVectorInto(aGradBuf)
+		cGradBuf = critic.GradVectorInto(cGradBuf)
+		aGrad := aGradBuf
+		cGrad := cGradBuf
+		nn.ClipGrads(aGrad, a.cfg.GradClip)
+		nn.ClipGrads(cGrad, a.cfg.GradClip)
+		a.mu.Lock()
+		if f := a.cfg.FinalLRFraction; f > 0 && f < 1 {
+			// Linear LR annealing over this Train call's step budget.
+			progress := float64(a.steps.Load()) / float64(totalSteps)
+			if progress > 1 {
+				progress = 1
+			}
+			scale := 1 - (1-f)*progress
+			a.actorOpt.SetLearningRate(a.cfg.LearningRate * scale)
+			mult := a.cfg.CriticLRMult
+			if mult <= 0 {
+				mult = 1
+			}
+			a.criticOpt.SetLearningRate(a.cfg.LearningRate * mult * scale)
+		}
+		a.actorOpt.Step(a.actorParams, aGrad)
+		a.criticOpt.Step(a.criticParams, cGrad)
+		a.mu.Unlock()
+		st.Updates++
+	}
+	return st
+}

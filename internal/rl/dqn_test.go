@@ -1,0 +1,251 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+)
+
+func smallDQNConfig() DQNConfig {
+	cfg := DefaultDQNConfig()
+	cfg.Net = NetConfig{HistLen: 7, Filters: 8, Kernel: 4, Stride: 1, Hidden: 16}
+	cfg.BufferSize = 5000
+	cfg.WarmupSteps = 200
+	cfg.Seed = 9
+	return cfg
+}
+
+func TestDQNConfigValidate(t *testing.T) {
+	if err := DefaultDQNConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*DQNConfig)) DQNConfig {
+		c := smallDQNConfig()
+		f(&c)
+		return c
+	}
+	for i, c := range []DQNConfig{
+		mut(func(c *DQNConfig) { c.LearningRate = 0 }),
+		mut(func(c *DQNConfig) { c.Gamma = 1 }),
+		mut(func(c *DQNConfig) { c.EpsilonFinal = 0.9 }), // above start
+		mut(func(c *DQNConfig) { c.BatchSize = 0 }),
+		mut(func(c *DQNConfig) { c.BufferSize = 8; c.BatchSize = 32 }),
+		mut(func(c *DQNConfig) { c.UpdateEvery = 0 }),
+		mut(func(c *DQNConfig) { c.TargetSync = 0 }),
+		mut(func(c *DQNConfig) { c.WarmupSteps = 1 }),
+	} {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid DQN config accepted", i)
+		}
+		if _, err := NewDQN(c); err == nil {
+			t.Errorf("case %d: NewDQN accepted invalid config", i)
+		}
+	}
+}
+
+func TestDQNTrainRejectsBadArgs(t *testing.T) {
+	d, err := NewDQN(smallDQNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Train(nil, 100); err == nil {
+		t.Error("nil factory accepted")
+	}
+	factory := func(r *rng.RNG) *mdp.Env {
+		e, _ := mdp.NewEnv(costmodel.New(pricing.Azure()), 0.1,
+			make([]float64, 10), make([]float64, 10), pricing.Hot, 7, mdp.DefaultReward())
+		return e
+	}
+	if _, err := d.Train(factory, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestDQNEpsilonAnneals(t *testing.T) {
+	d, err := NewDQN(smallDQNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.epsilon(0); math.Abs(got-d.cfg.EpsilonStart) > 1e-12 {
+		t.Fatalf("eps(0) = %v", got)
+	}
+	if got := d.epsilon(1); math.Abs(got-d.cfg.EpsilonFinal) > 1e-12 {
+		t.Fatalf("eps(1) = %v", got)
+	}
+	if got := d.epsilon(2); math.Abs(got-d.cfg.EpsilonFinal) > 1e-12 {
+		t.Fatalf("eps clamps at final, got %v", got)
+	}
+	mid := d.epsilon(0.5)
+	if mid <= d.cfg.EpsilonFinal || mid >= d.cfg.EpsilonStart {
+		t.Fatalf("eps(0.5) = %v outside schedule", mid)
+	}
+}
+
+func TestDQNReplayRing(t *testing.T) {
+	cfg := smallDQNConfig()
+	cfg.BufferSize = 64
+	cfg.BatchSize = 8
+	cfg.WarmupSteps = 8
+	d, err := NewDQN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		d.push(transition{action: i})
+	}
+	if d.filled != 64 {
+		t.Fatalf("ring filled %d, want 64", d.filled)
+	}
+	// The ring holds the most recent 64 entries.
+	seen := map[int]bool{}
+	for _, tr := range d.buffer {
+		seen[tr.action] = true
+	}
+	for i := 136; i < 200; i++ {
+		if !seen[i] {
+			t.Fatalf("recent transition %d evicted", i)
+		}
+	}
+}
+
+func TestDQNLearnsPolarWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr := polarTrace(t, 20, 21)
+	model := costmodel.New(pricing.Azure())
+	cfg := smallDQNConfig()
+	d, err := NewDQN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.Train(factory, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps < 40000 || stats.Updates == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	agent := d.Agent()
+	got, _, err := EvaluateAgent(agent, model, tr, cfg.Net.HistLen, pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalUniform := func(tier pricing.Tier) float64 {
+		init := make([]pricing.Tier, tr.NumFiles())
+		for i := range init {
+			init[i] = pricing.Hot
+		}
+		bds, err := model.TraceCost(tr, costmodel.UniformAssignment(tier, tr.NumFiles(), tr.Days), init, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return costmodel.SumBreakdowns(bds).Total()
+	}
+	hot := evalUniform(pricing.Hot)
+	if got.Total() > hot {
+		t.Fatalf("DQN %v worse than all-hot %v", got.Total(), hot)
+	}
+	t.Logf("dqn=%.4f hot=%.4f", got.Total(), hot)
+}
+
+func TestAgentCheckpointRoundTrip(t *testing.T) {
+	cfg := NetConfig{HistLen: 7, Filters: 8, Kernel: 4, Stride: 1, Hidden: 16}
+	agent := NewAgent(cfg, cfg.BuildActor(rng.New(3)))
+	var buf bytes.Buffer
+	if err := agent.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAgent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same decisions on a probe state.
+	s := mdp.State{
+		ReadHistory:  []float64{1, 5, 2, 8, 3, 9, 4},
+		WriteHistory: make([]float64, 7),
+		SizeGB:       0.1,
+		Tier:         pricing.Cool,
+	}
+	p1, p2 := agent.Probabilities(&s), back.Probabilities(&s)
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-12 {
+			t.Fatal("checkpoint round trip changed the policy")
+		}
+	}
+}
+
+func TestLoadAgentRejectsGarbage(t *testing.T) {
+	if _, err := LoadAgent(bytes.NewBufferString("not a checkpoint")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestA3CCheckpointRoundTrip(t *testing.T) {
+	cfg := smallA3CConfig()
+	a1, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := mdp.State{ReadHistory: make([]float64, 7), WriteHistory: make([]float64, 7), SizeGB: 0.1}
+	s.ReadHistory[2] = 7
+	p1 := a1.Snapshot().Probabilities(&s)
+	p2 := a2.Snapshot().Probabilities(&s)
+	for i := range p1 {
+		if math.Abs(p1[i]-p2[i]) > 1e-12 {
+			t.Fatal("trainer checkpoint round trip changed weights")
+		}
+	}
+	// Architecture mismatch rejected.
+	other := cfg
+	other.Net.Hidden = 8
+	a3, err := NewA3C(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := a1.SaveCheckpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a3.LoadCheckpoint(&buf2); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+}
+
+func BenchmarkDQNTrainStep(b *testing.B) {
+	tr := polarTrace(b, 8, 14)
+	model := costmodel.New(pricing.Azure())
+	cfg := smallDQNConfig()
+	d, err := NewDQN(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := d.Train(factory, int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package rl
+
+import (
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+)
+
+// TestA3CSurvivesExhaustedEnvs injects a misbehaving factory: every third
+// env arrives already finished, so the first Step errors. The worker must
+// recover by requesting a fresh env and still complete the step budget.
+func TestA3CSurvivesExhaustedEnvs(t *testing.T) {
+	model := costmodel.New(pricing.Azure())
+	cfg := smallA3CConfig()
+	cfg.Workers = 2
+	a3c, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := []float64{10, 20, 30, 40, 50, 60, 70, 80}
+	writes := make([]float64, len(reads))
+	calls := 0
+	factory := func(r *rng.RNG) *mdp.Env {
+		env, err := mdp.NewEnv(model, 0.1, reads, writes, pricing.Hot, 7, mdp.DefaultReward())
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		calls++
+		if calls%3 == 0 {
+			// Exhaust the episode before handing it over.
+			for d := 0; d < len(reads); d++ {
+				if _, _, _, _, err := env.Step(pricing.Hot); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		return env
+	}
+	stats, err := a3c.Train(factory, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps < 2000 {
+		t.Fatalf("training stalled at %d steps", stats.Steps)
+	}
+}
+
+// TestDQNSurvivesExhaustedEnvs is the replay-learner counterpart.
+func TestDQNSurvivesExhaustedEnvs(t *testing.T) {
+	model := costmodel.New(pricing.Azure())
+	cfg := smallDQNConfig()
+	cfg.WarmupSteps = 64
+	d, err := NewDQN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := []float64{10, 20, 30, 40, 50, 60, 70, 80}
+	writes := make([]float64, len(reads))
+	calls := 0
+	factory := func(r *rng.RNG) *mdp.Env {
+		env, _ := mdp.NewEnv(model, 0.1, reads, writes, pricing.Hot, 7, mdp.DefaultReward())
+		calls++
+		if calls%3 == 0 {
+			for dd := 0; dd < len(reads); dd++ {
+				_, _, _, _, _ = env.Step(pricing.Hot)
+			}
+		}
+		return env
+	}
+	stats, err := d.Train(factory, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps < 1500 {
+		t.Fatalf("training stalled at %d steps", stats.Steps)
+	}
+}
+
+// TestEvaluateAgentPropagatesEnvErrors verifies the serving path surfaces
+// trace corruption instead of mispricing silently.
+func TestEvaluateAgentPropagatesEnvErrors(t *testing.T) {
+	tr := polarTrace(t, 4, 10)
+	tr.Files[2].SizeGB = 0 // invalid size -> mdp.NewEnv must fail
+	netCfg := NetConfig{HistLen: 7, Filters: 4, Kernel: 3, Stride: 1, Hidden: 8}
+	agent := NewAgent(netCfg, netCfg.BuildActor(rng.New(1)))
+	if _, _, err := EvaluateAgent(agent, costmodel.New(pricing.Azure()), tr, 7, pricing.Hot); err == nil {
+		t.Fatal("corrupted trace accepted")
+	}
+}

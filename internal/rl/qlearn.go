@@ -1,0 +1,91 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"minicost/internal/mdp"
+	"minicost/internal/rng"
+)
+
+// QLearner is a tabular ε-greedy Q-learning reference implementation over a
+// finite MDP. It exists to validate the RL plumbing: on a tiny MDP its
+// greedy policy must match exact value iteration, giving an independent
+// check that rewards, discounting and exploration are wired correctly
+// before trusting the neural learner.
+type QLearner struct {
+	MDP     *mdp.Finite
+	Q       [][]float64
+	Alpha   float64 // learning rate
+	Gamma   float64
+	Epsilon float64
+}
+
+// NewQLearner returns a zero-initialized learner.
+func NewQLearner(m *mdp.Finite, alpha, gamma, epsilon float64) (*QLearner, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if alpha <= 0 || alpha > 1 || gamma < 0 || gamma >= 1 || epsilon < 0 || epsilon > 1 {
+		return nil, fmt.Errorf("rl: bad Q-learning hyperparameters alpha=%v gamma=%v epsilon=%v", alpha, gamma, epsilon)
+	}
+	q := make([][]float64, m.NumStates)
+	for s := range q {
+		q[s] = make([]float64, m.NumActions)
+	}
+	return &QLearner{MDP: m, Q: q, Alpha: alpha, Gamma: gamma, Epsilon: epsilon}, nil
+}
+
+// Train runs episodes of at most maxLen steps from the given start state.
+func (q *QLearner) Train(r *rng.RNG, episodes, maxLen, start int) {
+	for ep := 0; ep < episodes; ep++ {
+		s := start
+		for t := 0; t < maxLen && !q.MDP.Terminal[s]; t++ {
+			a := q.act(r, s)
+			next := q.MDP.Next[s][a]
+			reward := q.MDP.Reward[s][a]
+			target := reward
+			if !q.MDP.Terminal[next] {
+				target += q.Gamma * maxOf(q.Q[next])
+			}
+			q.Q[s][a] += q.Alpha * (target - q.Q[s][a])
+			s = next
+		}
+	}
+}
+
+func (q *QLearner) act(r *rng.RNG, s int) int {
+	if r.Float64() < q.Epsilon {
+		return r.Intn(q.MDP.NumActions)
+	}
+	return argmax(q.Q[s])
+}
+
+// Policy returns the greedy policy under the current Q table.
+func (q *QLearner) Policy() []int {
+	out := make([]int, q.MDP.NumStates)
+	for s := range out {
+		out[s] = argmax(q.Q[s])
+	}
+	return out
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func maxOf(xs []float64) float64 {
+	best := math.Inf(-1)
+	for _, v := range xs {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

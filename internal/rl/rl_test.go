@@ -1,0 +1,373 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+func TestNetConfigValidate(t *testing.T) {
+	if err := DefaultNetConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultNetConfig()
+	bad.Kernel = 99
+	if bad.Validate() == nil {
+		t.Error("kernel > history accepted")
+	}
+	bad = DefaultNetConfig()
+	bad.Hidden = 0
+	if bad.Validate() == nil {
+		t.Error("zero hidden accepted")
+	}
+}
+
+func TestAgentDecideAndSample(t *testing.T) {
+	cfg := NetConfig{HistLen: 7, Filters: 4, Kernel: 3, Stride: 1, Hidden: 8}
+	r := rng.New(1)
+	agent := NewAgent(cfg, cfg.BuildActor(r))
+	s := mdp.State{
+		ReadHistory:  make([]float64, 7),
+		WriteHistory: make([]float64, 7),
+		SizeGB:       0.1,
+		Tier:         pricing.Hot,
+	}
+	tier := agent.Decide(&s)
+	if !tier.Valid() {
+		t.Fatalf("invalid decision %v", tier)
+	}
+	p := agent.Probabilities(&s)
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum %v", sum)
+	}
+	// Decide must be argmax of Probabilities.
+	best := 0
+	for i := range p {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	if int(tier) != best {
+		t.Fatal("Decide disagrees with Probabilities argmax")
+	}
+	// ε=1 forces uniform exploration; all actions eventually appear.
+	seen := map[pricing.Tier]bool{}
+	for i := 0; i < 200; i++ {
+		seen[agent.Sample(&s, 1, r)] = true
+	}
+	if len(seen) != mdp.NumActions {
+		t.Fatalf("exploration saw %d actions", len(seen))
+	}
+	// ε=0 samples from π only; with an untrained net all actions still have
+	// positive mass, but every sample must be valid.
+	for i := 0; i < 50; i++ {
+		if !agent.Sample(&s, 0, r).Valid() {
+			t.Fatal("invalid sampled action")
+		}
+	}
+}
+
+func TestAgentCloneIndependent(t *testing.T) {
+	cfg := NetConfig{HistLen: 7, Filters: 4, Kernel: 3, Stride: 1, Hidden: 8}
+	r := rng.New(2)
+	a := NewAgent(cfg, cfg.BuildActor(r))
+	b := a.Clone()
+	s := mdp.State{ReadHistory: make([]float64, 7), WriteHistory: make([]float64, 7), SizeGB: 0.1}
+	s.ReadHistory[3] = 5
+	if a.Decide(&s) != b.Decide(&s) {
+		t.Fatal("clone decides differently")
+	}
+}
+
+func TestA3CConfigValidate(t *testing.T) {
+	if err := DefaultA3CConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*A3CConfig)) A3CConfig {
+		c := DefaultA3CConfig()
+		f(&c)
+		return c
+	}
+	for i, c := range []A3CConfig{
+		mut(func(c *A3CConfig) { c.LearningRate = 0 }),
+		mut(func(c *A3CConfig) { c.Gamma = 1 }),
+		mut(func(c *A3CConfig) { c.Epsilon = -0.1 }),
+		mut(func(c *A3CConfig) { c.NSteps = 0 }),
+		mut(func(c *A3CConfig) { c.Workers = 0 }),
+		mut(func(c *A3CConfig) { c.EntropyBeta = -1 }),
+		mut(func(c *A3CConfig) { c.Optimizer = "lion" }),
+	} {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+		if _, err := NewA3C(c); err == nil {
+			t.Errorf("case %d: NewA3C accepted invalid config", i)
+		}
+	}
+}
+
+func TestQLearningMatchesValueIteration(t *testing.T) {
+	// 5-state corridor: move right (action 1) reaches the terminal reward;
+	// action 0 moves left (stays at 0). Small negative step rewards make
+	// the shortest path optimal.
+	n := 5
+	f := &mdp.Finite{
+		NumStates:  n,
+		NumActions: 2,
+		Next:       make([][]int, n),
+		Reward:     make([][]float64, n),
+		Terminal:   make([]bool, n),
+	}
+	for s := 0; s < n; s++ {
+		left := s - 1
+		if left < 0 {
+			left = 0
+		}
+		right := s + 1
+		if right >= n {
+			right = n - 1
+		}
+		f.Next[s] = []int{left, right}
+		f.Reward[s] = []float64{-0.1, -0.1}
+	}
+	f.Reward[n-2][1] = 10 // reaching the end pays
+	f.Terminal[n-1] = true
+
+	_, optimal := f.ValueIteration(0.9, 1e-9)
+
+	q, err := NewQLearner(f, 0.2, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Train(rng.New(3), 2000, 50, 0)
+	got := q.Policy()
+	for s := 0; s < n-1; s++ {
+		if got[s] != optimal[s] {
+			t.Fatalf("state %d: q-policy %d, optimal %d", s, got[s], optimal[s])
+		}
+	}
+}
+
+func TestQLearnerValidation(t *testing.T) {
+	f := &mdp.Finite{NumStates: 1, NumActions: 1, Next: [][]int{{0}}, Reward: [][]float64{{0}}, Terminal: []bool{true}}
+	if _, err := NewQLearner(f, 0, 0.9, 0.1); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewQLearner(f, 0.1, 1.0, 0.1); err == nil {
+		t.Error("gamma 1 accepted")
+	}
+}
+
+// polarTrace builds a trace where the optimal policy is obvious: half the
+// files are "busy" (hot clearly optimal), half are "idle" (archive clearly
+// optimal), with stable frequencies.
+func polarTrace(t testing.TB, files, days int) *trace.Trace {
+	t.Helper()
+	tr := &trace.Trace{Days: days}
+	for i := 0; i < files; i++ {
+		reads := make([]float64, days)
+		writes := make([]float64, days)
+		rate := 0.0
+		if i%2 == 0 {
+			rate = 5000
+		}
+		for d := range reads {
+			reads[d] = rate
+		}
+		tr.Files = append(tr.Files, trace.FileMeta{ID: i, SizeGB: 0.1})
+		tr.Reads = append(tr.Reads, reads)
+		tr.Writes = append(tr.Writes, writes)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func smallA3CConfig() A3CConfig {
+	cfg := DefaultA3CConfig()
+	cfg.Net = NetConfig{HistLen: 7, Filters: 8, Kernel: 4, Stride: 1, Hidden: 16}
+	cfg.Workers = 2
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestA3CLearnsPolarWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr := polarTrace(t, 20, 21)
+	model := costmodel.New(pricing.Azure())
+	cfg := smallA3CConfig()
+	a3c, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a3c.Train(factory, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps < 30000 || stats.Updates == 0 || stats.Episodes == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	agent := a3c.Snapshot()
+	got, asg, err := EvaluateAgent(agent, model, tr, cfg.Net.HistLen, pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != tr.NumFiles() {
+		t.Fatal("assignment size")
+	}
+	// Reference costs.
+	evalUniform := func(tier pricing.Tier) float64 {
+		init := make([]pricing.Tier, tr.NumFiles())
+		for i := range init {
+			init[i] = pricing.Hot
+		}
+		bds, err := model.TraceCost(tr, costmodel.UniformAssignment(tier, tr.NumFiles(), tr.Days), init, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return costmodel.SumBreakdowns(bds).Total()
+	}
+	hot, cool, archive := evalUniform(pricing.Hot), evalUniform(pricing.Cool), evalUniform(pricing.Archive)
+	best := math.Min(hot, math.Min(cool, archive))
+	if got.Total() >= hot {
+		t.Fatalf("agent %v not better than all-hot %v (cool %v, archive %v)", got.Total(), hot, cool, archive)
+	}
+	// The mixed-optimal beats any uniform tier; the agent should get most of
+	// that gap: demand it does at least as well as the best uniform policy.
+	if got.Total() > best {
+		t.Fatalf("agent %v worse than best uniform %v", got.Total(), best)
+	}
+	t.Logf("agent=%.4f hot=%.4f cool=%.4f archive=%.4f", got.Total(), hot, cool, archive)
+}
+
+func TestA3CSnapshotThreadSafeDuringTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tr := polarTrace(t, 4, 10)
+	model := costmodel.New(pricing.Azure())
+	cfg := smallA3CConfig()
+	a3c, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			agent := a3c.Snapshot()
+			s := mdp.State{ReadHistory: make([]float64, 7), WriteHistory: make([]float64, 7), SizeGB: 0.1}
+			if !agent.Decide(&s).Valid() {
+				t.Error("invalid decision from snapshot")
+				return
+			}
+		}
+	}()
+	if _, err := a3c.Train(factory, 3000); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestTrainRejectsBadArgs(t *testing.T) {
+	a3c, err := NewA3C(smallA3CConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a3c.Train(nil, 10); err == nil {
+		t.Error("nil factory accepted")
+	}
+	factory := func(r *rng.RNG) *mdp.Env {
+		e, _ := mdp.NewEnv(costmodel.New(pricing.Azure()), 0.1,
+			[]float64{1, 2, 3, 4, 5, 6, 7, 8}, make([]float64, 8), pricing.Hot, 7, mdp.DefaultReward())
+		return e
+	}
+	if _, err := a3c.Train(factory, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestTraceFactoryValidation(t *testing.T) {
+	model := costmodel.New(pricing.Azure())
+	if _, err := TraceFactory(model, &trace.Trace{Days: 5}, 7, mdp.DefaultReward(), pricing.Hot); err == nil {
+		t.Error("empty trace accepted")
+	}
+	tr := polarTrace(t, 2, 10)
+	if _, err := TraceFactory(model, tr, 0, mdp.DefaultReward(), pricing.Hot); err == nil {
+		t.Error("zero histLen accepted")
+	}
+	factory, err := TraceFactory(model, tr, 7, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := factory(rng.New(1))
+	if env.Days() != 10 {
+		t.Fatalf("episode days %d", env.Days())
+	}
+}
+
+func TestNegCostRewardMode(t *testing.T) {
+	rc := mdp.NegCostReward()
+	if !(rc.Reward(0.1) < rc.Reward(0.01)) {
+		t.Fatal("negcost reward not decreasing in cost")
+	}
+	if rc.Reward(0) != rc.Delta {
+		t.Fatal("negcost at zero cost should be Delta")
+	}
+}
+
+func BenchmarkA3CTrainStep(b *testing.B) {
+	tr := polarTrace(b, 8, 14)
+	model := costmodel.New(pricing.Azure())
+	cfg := smallA3CConfig()
+	cfg.Workers = 1
+	a3c, err := NewA3C(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := a3c.Train(factory, int64(b.N)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAgentDecide(b *testing.B) {
+	cfg := DefaultNetConfig()
+	agent := NewAgent(cfg, cfg.BuildActor(rng.New(1)))
+	s := mdp.State{
+		ReadHistory:  make([]float64, cfg.HistLen),
+		WriteHistory: make([]float64, cfg.HistLen),
+		SizeGB:       0.1,
+	}
+	for i := range s.ReadHistory {
+		s.ReadHistory[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Decide(&s)
+	}
+}

@@ -1,0 +1,85 @@
+package rl
+
+import (
+	"fmt"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+// TrainWithSelection trains the A3C in `chunks` segments and, after each,
+// scores a policy snapshot on a validation slice of the training trace,
+// returning the cheapest snapshot seen.
+//
+// Why: asynchronous policy-gradient training oscillates — the policy at the
+// final step is not reliably the best policy of the run, and a snapshot
+// caught mid-swing can mis-tier high-traffic files, which is catastrophic
+// under cloud prices (one archived hot file costs more than the rest of the
+// fleet combined). Standard model selection on held-in data removes that
+// run-to-run luck without touching the test set.
+//
+// The validation slice is up to valFiles random files over the trailing
+// valDays days of tr, chosen deterministically from the A3C seed.
+func TrainWithSelection(a *A3C, model *costmodel.Model, tr *trace.Trace, reward mdp.RewardConfig, totalSteps int64, chunks int, initial pricing.Tier) (*Agent, TrainStats, error) {
+	const (
+		valFiles = 100
+		valDays  = 14
+	)
+	if chunks <= 0 {
+		chunks = 5
+	}
+	if totalSteps < int64(chunks) {
+		return nil, TrainStats{}, fmt.Errorf("rl: totalSteps %d below chunk count %d", totalSteps, chunks)
+	}
+	factory, err := TraceFactory(model, tr, a.cfg.Net.HistLen, reward, initial)
+	if err != nil {
+		return nil, TrainStats{}, err
+	}
+
+	// Validation slice: random file subset, trailing window.
+	val := tr
+	if tr.NumFiles() > valFiles {
+		perm := rng.New(a.cfg.Seed ^ 0x7A11D).Perm(tr.NumFiles())
+		val = tr.Subset(perm[:valFiles])
+	}
+	if val.Days > valDays {
+		windowed, err := val.Window(val.Days-valDays, val.Days)
+		if err != nil {
+			return nil, TrainStats{}, err
+		}
+		val = windowed
+	}
+
+	var best *Agent
+	bestCost := 0.0
+	var total TrainStats
+	for k := 1; k <= chunks; k++ {
+		target := totalSteps * int64(k) / int64(chunks)
+		if target <= a.Steps() {
+			continue
+		}
+		stats, err := a.Train(factory, target)
+		if err != nil {
+			return nil, TrainStats{}, err
+		}
+		total.Steps += stats.Steps
+		total.Episodes += stats.Episodes
+		total.Updates += stats.Updates
+		total.RewardSum += stats.RewardSum
+		total.CostSum += stats.CostSum
+
+		snap := a.Snapshot()
+		bd, _, err := EvaluateAgent(snap, model, val, a.cfg.Net.HistLen, initial)
+		if err != nil {
+			return nil, TrainStats{}, err
+		}
+		if best == nil || bd.Total() < bestCost {
+			best = snap
+			bestCost = bd.Total()
+		}
+	}
+	return best, total, nil
+}

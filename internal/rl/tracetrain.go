@@ -1,0 +1,71 @@
+package rl
+
+import (
+	"fmt"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+// TraceFactory returns an EnvFactory that samples per-file episodes from a
+// trace: each episode picks a uniformly random file and steps through its
+// whole daily series under the given cost model and reward (the paper's
+// training regime: "the agent takes the real-time data or historical data
+// as input", per-file decisions).
+func TraceFactory(model *costmodel.Model, tr *trace.Trace, histLen int, reward mdp.RewardConfig, initial pricing.Tier) (EnvFactory, error) {
+	if tr.NumFiles() == 0 {
+		return nil, fmt.Errorf("rl: empty trace")
+	}
+	if histLen <= 0 {
+		return nil, fmt.Errorf("rl: histLen %d", histLen)
+	}
+	return func(r *rng.RNG) *mdp.Env {
+		i := r.Intn(tr.NumFiles())
+		env, err := mdp.NewEnv(model, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, histLen, reward)
+		if err != nil {
+			// Generate/Validate guarantee per-file series are well formed;
+			// reaching here means the trace was corrupted after validation.
+			panic(fmt.Sprintf("rl: trace env: %v", err))
+		}
+		return env
+	}, nil
+}
+
+// EvaluateAgent runs the greedy policy over every file in the trace and
+// returns the total bill — the serving-side counterpart of training, used by
+// experiments and tests to score a snapshot.
+func EvaluateAgent(agent *Agent, model *costmodel.Model, tr *trace.Trace, histLen int, initial pricing.Tier) (costmodel.Breakdown, costmodel.Assignment, error) {
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	reward := mdp.DefaultReward()
+	local := agent.Clone()
+	for i := 0; i < tr.NumFiles(); i++ {
+		env, err := mdp.NewEnv(model, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, histLen, reward)
+		if err != nil {
+			return costmodel.Breakdown{}, nil, err
+		}
+		plan := make(costmodel.Plan, tr.Days)
+		state := env.Reset()
+		for d := 0; d < tr.Days; d++ {
+			tier := local.Decide(&state)
+			next, _, _, _, err := env.Step(tier)
+			if err != nil {
+				return costmodel.Breakdown{}, nil, err
+			}
+			plan[d] = tier
+			state = next
+		}
+		asg[i] = plan
+	}
+	init := make([]pricing.Tier, tr.NumFiles())
+	for i := range init {
+		init[i] = initial
+	}
+	bds, err := model.TraceCost(tr, asg, init, 0)
+	if err != nil {
+		return costmodel.Breakdown{}, nil, err
+	}
+	return costmodel.SumBreakdowns(bds), asg, nil
+}

@@ -1,0 +1,196 @@
+// Package rng provides a small deterministic pseudo-random number generator
+// with splittable substreams and the distributions the MiniCost workload
+// generator needs (uniform, Gaussian, exponential, Poisson, Zipf,
+// log-normal).
+//
+// A dedicated generator (rather than math/rand) gives two guarantees the
+// experiments rely on:
+//
+//   - substreams: Split(key) derives an independent stream per file id, so a
+//     trace is reproducible regardless of generation order or worker count;
+//   - stability: the sequence is fixed by this package, not by the Go
+//     release.
+//
+// The core generator is SplitMix64 (Steele, Lea, Flood; "Fast splittable
+// pseudorandom number generators", OOPSLA 2014), which passes BigCrush and
+// is trivially splittable.
+package rng
+
+import "math"
+
+// goldenGamma is the SplitMix64 increment (odd, derived from the golden ratio).
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// RNG is a deterministic SplitMix64 generator. The zero value is a valid
+// generator seeded with 0; New is clearer.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += goldenGamma
+	return mix64(r.state)
+}
+
+// Split derives an independent substream keyed by key. Two Splits of the
+// same generator with different keys are statistically independent, and a
+// Split does not advance the parent stream.
+func (r *RNG) Split(key uint64) *RNG {
+	return &RNG{state: mix64(r.state ^ mix64(key*goldenGamma+1))}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // modulo bias < 2^-40 for n < 2^24; fine for simulation
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap, Fisher–Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Normal returns a standard Gaussian sample (Box–Muller, one value per call).
+func (r *RNG) Normal() float64 {
+	// Rejection-free Box–Muller; discard the second value for simplicity.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// NormalMS returns a Gaussian sample with the given mean and stddev.
+func (r *RNG) NormalMS(mean, stddev float64) float64 {
+	return mean + stddev*r.Normal()
+}
+
+// Exponential returns an exponential sample with the given rate (mean 1/rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// LogNormal returns exp(N(mu, sigma^2)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormalMS(mu, sigma))
+}
+
+// Poisson returns a Poisson sample with the given mean. For small means it
+// uses Knuth's product method; for large means a Gaussian approximation with
+// continuity correction, which is accurate to well under a percent for
+// mean >= 30 and keeps generation O(1).
+func (r *RNG) Poisson(mean float64) int64 {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		l := math.Exp(-mean)
+		var k int64
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	default:
+		x := math.Round(r.NormalMS(mean, math.Sqrt(mean)))
+		if x < 0 {
+			return 0
+		}
+		return int64(x)
+	}
+}
+
+// Zipf draws ranks in [1, n] with probability proportional to rank^-s using
+// inverse-CDF sampling over a precomputed table. Build one with NewZipf.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s > 0.
+func NewZipf(r *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Rank returns a sample in [1, n].
+func (z *Zipf) Rank() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Weight returns the normalized probability mass of the given rank in [1, n].
+func (z *Zipf) Weight(rank int) float64 {
+	if rank < 1 || rank > len(z.cdf) {
+		return 0
+	}
+	if rank == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[rank-1] - z.cdf[rank-2]
+}

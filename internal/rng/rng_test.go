@@ -1,0 +1,213 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentOfParentAdvance(t *testing.T) {
+	a := New(7)
+	sub1 := a.Split(42)
+	v1 := sub1.Uint64()
+	// Splitting must not depend on how far the parent advanced after split,
+	// and the same (parent state, key) must give the same substream.
+	b := New(7)
+	sub2 := b.Split(42)
+	if got := sub2.Uint64(); got != v1 {
+		t.Fatalf("split streams differ: %d vs %d", got, v1)
+	}
+	// Different keys give different streams.
+	if b.Split(43).Uint64() == v1 {
+		t.Fatal("different split keys produced identical first value")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(99), New(99)
+	_ = a.Split(1)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(2)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for d, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("digit %d count %d far from uniform 10000", d, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(4)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(0.5)
+	}
+	if mean := sum / float64(n); math.Abs(mean-2) > 0.05 {
+		t.Fatalf("exp mean %v, want ~2", mean)
+	}
+}
+
+func TestPoissonMeanSmallAndLarge(t *testing.T) {
+	r := New(5)
+	for _, lambda := range []float64{0.5, 3, 12, 50, 400} {
+		n := 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / float64(n)
+		tol := 4 * math.Sqrt(lambda/float64(n)) // ~4 sigma of the sample mean
+		if math.Abs(mean-lambda) > tol+0.02 {
+			t.Fatalf("poisson(%v) sample mean %v beyond tolerance %v", lambda, mean, tol)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	f := func(seed uint64, mRaw uint16) bool {
+		r := New(seed)
+		mean := float64(mRaw) / 100.0
+		return r.Poisson(mean) >= 0 && r.Poisson(-mean) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfMonotoneAndNormalized(t *testing.T) {
+	r := New(6)
+	z := NewZipf(r, 1.1, 1000)
+	totalW := 0.0
+	prev := math.Inf(1)
+	for rank := 1; rank <= 1000; rank++ {
+		w := z.Weight(rank)
+		if w <= 0 {
+			t.Fatalf("rank %d has non-positive weight %v", rank, w)
+		}
+		if w > prev+1e-12 {
+			t.Fatalf("weight increased from rank %d: %v > %v", rank, w, prev)
+		}
+		prev = w
+		totalW += w
+	}
+	if math.Abs(totalW-1) > 1e-9 {
+		t.Fatalf("zipf weights sum to %v, want 1", totalW)
+	}
+}
+
+func TestZipfSamplesMatchWeights(t *testing.T) {
+	r := New(7)
+	z := NewZipf(r, 1.0, 50)
+	n := 200000
+	counts := make([]int, 51)
+	for i := 0; i < n; i++ {
+		rank := z.Rank()
+		if rank < 1 || rank > 50 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		counts[rank]++
+	}
+	for rank := 1; rank <= 50; rank++ {
+		want := z.Weight(rank) * float64(n)
+		got := float64(counts[rank])
+		if want > 500 && math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Fatalf("rank %d: got %v samples, want ~%v", rank, got, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(5)
+	}
+	_ = sink
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 1.05, 100000)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Rank()
+	}
+	_ = sink
+}

@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"sort"
+
+	"minicost/internal/par"
+	"minicost/internal/rng"
+)
+
+// GenConfig parameterizes the synthetic Wikipedia-like workload generator.
+// The zero value is not useful; start from DefaultGenConfig.
+type GenConfig struct {
+	NumFiles int
+	Days     int
+	Seed     uint64
+
+	// MeanSizeGB is the mean of the Poisson-distributed file sizes. The
+	// paper uses 100 MB [33]; sizes are drawn as Poisson(MeanSizeGB*1024) MB
+	// with a 1 MB floor, constant over the horizon [43].
+	MeanSizeGB float64
+
+	// BucketShares is the target population share of each volatility class
+	// (Fig. 2). Must sum to ~1.
+	BucketShares [NumBuckets]float64
+
+	// ZipfExponent shapes the popularity distribution across files;
+	// BaseDailyReads is the population-mean daily read frequency per file.
+	ZipfExponent   float64
+	BaseDailyReads float64
+	// MinDailyReads floors a file's base rate so that Poissonised counts do
+	// not manufacture variability the volatility class didn't ask for.
+	MinDailyReads float64
+
+	// HeadFraction of files form a separate high-traffic "head" whose base
+	// rates are log-uniform in [HeadRateLo, HeadRateHi] reads/day. A trace
+	// of a few thousand files cannot span Wikipedia's full popularity range
+	// with one Zipf: the real trace has both mega-hot pages (the regime
+	// where request aggregation pays, Eq. 15) and millions of sub-crossover
+	// tail pages (the regime where tiering pays). The mixture is a
+	// downsampled stand-in preserving both regimes.
+	HeadFraction float64
+	HeadRateLo   float64
+	HeadRateHi   float64
+
+	// WriteFraction scales write frequencies relative to reads (web
+	// workloads are read-dominated).
+	WriteFraction float64
+
+	// WeeklyAmplitude is the relative amplitude of the 7-day request cycle
+	// the paper observes ([32]: "the cycle time of the request frequencies
+	// for each data file is around one week").
+	WeeklyAmplitude float64
+
+	// GroupFraction of files participate in concurrent-request groups of
+	// size between GroupSizeMin and GroupSizeMax; ConcurrencyLo/Hi bound the
+	// per-group share of member requests that arrive concurrently.
+	GroupFraction                float64
+	GroupSizeMin, GroupSizeMax   int
+	ConcurrencyLo, ConcurrencyHi float64
+
+	// IntegerCounts Poisson-samples the daily frequencies instead of
+	// emitting expected values. Off by default: expected values keep the
+	// volatility classes exact (see DESIGN.md).
+	IntegerCounts bool
+
+	// Workers bounds generation parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultGenConfig returns the configuration used by the experiments:
+// population shares from Fig. 2, 100 MB mean sizes, a ~2-month horizon.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		NumFiles:     2000,
+		Days:         63, // 9 weeks ≈ the paper's two-month collection
+		Seed:         1,
+		MeanSizeGB:   0.1,
+		BucketShares: PaperBucketShares,
+		// Popularity: Zipf with mean 0.2 reads/day and a floor of 0.001.
+		// Under Azure prices the hot-vs-cool crossover sits near 0.027
+		// reads/day and hot-vs-archive near 0.021 (independent of file
+		// size: storage and retrieval both scale per GB), so this spread
+		// puts a substantial share of files on each side of the crossover
+		// (and volatile files astride it) — the regime where tier
+		// assignment actually matters, and the regime Wikipedia's long
+		// tail of rarely-viewed articles lives in. A higher mean
+		// degenerates the problem: every file trivially belongs in hot.
+		ZipfExponent:    1.4,
+		BaseDailyReads:  0.2,
+		MinDailyReads:   0.001,
+		HeadFraction:    0.02,
+		HeadRateLo:      50,
+		HeadRateHi:      5000,
+		WriteFraction:   0.02,
+		WeeklyAmplitude: 0.04,
+		GroupFraction:   0.3,
+		GroupSizeMin:    2,
+		GroupSizeMax:    4,
+		ConcurrencyLo:   0.3,
+		ConcurrencyHi:   0.9,
+	}
+}
+
+// Validate checks the configuration.
+func (c *GenConfig) Validate() error {
+	switch {
+	case c.NumFiles <= 0:
+		return fmt.Errorf("trace: NumFiles %d", c.NumFiles)
+	case c.Days < 2:
+		return fmt.Errorf("trace: Days %d (need >= 2 for Eq. 1)", c.Days)
+	case c.MeanSizeGB <= 0:
+		return fmt.Errorf("trace: MeanSizeGB %v", c.MeanSizeGB)
+	case c.ZipfExponent <= 0:
+		return fmt.Errorf("trace: ZipfExponent %v", c.ZipfExponent)
+	case c.BaseDailyReads <= 0:
+		return fmt.Errorf("trace: BaseDailyReads %v", c.BaseDailyReads)
+	case c.WriteFraction < 0:
+		return fmt.Errorf("trace: WriteFraction %v", c.WriteFraction)
+	case c.WeeklyAmplitude < 0 || c.WeeklyAmplitude >= 1:
+		return fmt.Errorf("trace: WeeklyAmplitude %v outside [0,1)", c.WeeklyAmplitude)
+	case c.GroupFraction < 0 || c.GroupFraction > 1:
+		return fmt.Errorf("trace: GroupFraction %v", c.GroupFraction)
+	case c.HeadFraction < 0 || c.HeadFraction > 1:
+		return fmt.Errorf("trace: HeadFraction %v", c.HeadFraction)
+	}
+	if c.HeadFraction > 0 && (c.HeadRateLo <= 0 || c.HeadRateHi < c.HeadRateLo) {
+		return fmt.Errorf("trace: head rate bounds [%v,%v]", c.HeadRateLo, c.HeadRateHi)
+	}
+	if c.GroupFraction > 0 {
+		if c.GroupSizeMin < 2 || c.GroupSizeMax < c.GroupSizeMin {
+			return fmt.Errorf("trace: group size bounds [%d,%d]", c.GroupSizeMin, c.GroupSizeMax)
+		}
+		if c.ConcurrencyLo < 0 || c.ConcurrencyHi > 1 || c.ConcurrencyLo > c.ConcurrencyHi {
+			return fmt.Errorf("trace: concurrency bounds [%v,%v]", c.ConcurrencyLo, c.ConcurrencyHi)
+		}
+	}
+	sum := 0.0
+	for _, s := range c.BucketShares {
+		if s < 0 {
+			return fmt.Errorf("trace: negative bucket share")
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 0.01 {
+		return fmt.Errorf("trace: bucket shares sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// burst process constants: high-volatility files get a persistent two-state
+// regime component so they are genuinely non-stationary (hard for ARIMA,
+// matching Fig. 4), not merely noisy.
+const (
+	burstStationaryProb = 0.10 // long-run fraction of days in the burst state
+	burstExitProb       = 0.40 // P(burst -> normal) per day
+)
+
+// Generate produces a deterministic synthetic trace. The per-file process is
+//
+//	reads[d] = base · weekly(d) · noise(d) · regime(d)
+//
+// with base rates Zipf-distributed, weekly a sinusoid with period 7,
+// noise i.i.d. log-normal, and regime a persistent two-state Markov burst
+// process used only for the two most volatile classes. Each file's target
+// coefficient of variation is drawn uniformly inside its class's σ range and
+// the noise/regime parameters are solved to hit it in expectation.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	zipf := rng.NewZipf(root.Split(0xA11CE), cfg.ZipfExponent, cfg.NumFiles)
+
+	// Zipf weights normalised so the population mean equals BaseDailyReads.
+	n := cfg.NumFiles
+	tr := &Trace{
+		Days:   cfg.Days,
+		Files:  make([]FileMeta, n),
+		Reads:  make([][]float64, n),
+		Writes: make([][]float64, n),
+	}
+
+	// Class assignment: deterministic proportional allocation (largest
+	// remainder) so realized shares match targets even for small N.
+	classOf := allocateClasses(cfg.BucketShares, n, root.Split(0xC1A55))
+
+	// Popularity ranks: a random permutation decouples rank from file id and
+	// from volatility class.
+	rankPerm := root.Split(0x7E4).Perm(n)
+
+	// Head files (see HeadFraction): chosen independently of class and rank.
+	isHead := make([]bool, n)
+	headCount := int(math.Round(cfg.HeadFraction * float64(n)))
+	for _, idx := range root.Split(0x4EAD).Perm(n)[:headCount] {
+		isHead[idx] = true
+	}
+
+	par.For(n, cfg.Workers, func(i int) {
+		r := root.Split(uint64(i) + 0x5EED0001)
+		meta := &tr.Files[i]
+		meta.ID = i
+		meta.Bucket = classOf[i]
+
+		// Poisson file size in MB, floored at 1 MB (§3.1).
+		sizeMB := r.Poisson(cfg.MeanSizeGB * 1024)
+		if sizeMB < 1 {
+			sizeMB = 1
+		}
+		meta.SizeGB = float64(sizeMB) / 1024
+
+		var base float64
+		if isHead[i] {
+			// Log-uniform over the head range.
+			base = cfg.HeadRateLo * math.Exp(r.Float64()*math.Log(cfg.HeadRateHi/cfg.HeadRateLo))
+		} else {
+			base = cfg.BaseDailyReads * zipfRate(zipf, rankPerm[i]+1, n)
+			if base < cfg.MinDailyReads {
+				base = cfg.MinDailyReads
+			}
+		}
+
+		bucket := Buckets[classOf[i]]
+		hi := bucket.Hi
+		if math.IsInf(hi, 1) {
+			hi = 2.0 // cap the open-ended >0.8 class at CV 2
+		}
+		targetCV := bucket.Lo + r.Float64()*(hi-bucket.Lo)
+
+		tr.Reads[i] = synthSeries(r, cfg, base, targetCV, classOf[i])
+		tr.Writes[i] = make([]float64, cfg.Days)
+		wr := r.Split(0x22)
+		for d := 0; d < cfg.Days; d++ {
+			w := cfg.WriteFraction * tr.Reads[i][d] * wr.LogNormal(0, 0.2)
+			if cfg.IntegerCounts {
+				w = float64(wr.Poisson(w))
+			}
+			tr.Writes[i][d] = w
+		}
+	})
+
+	if cfg.GroupFraction > 0 {
+		tr.Groups = buildGroups(tr, cfg, root.Split(0x96011))
+	}
+	return tr, nil
+}
+
+// zipfRate converts a popularity rank to a rate multiplier with population
+// mean 1 (so BaseDailyReads is the mean per-file rate).
+func zipfRate(z *rng.Zipf, rank, n int) float64 {
+	return z.Weight(rank) * float64(n)
+}
+
+// synthSeries generates one file's daily read-frequency series.
+func synthSeries(r *rng.RNG, cfg GenConfig, base, targetCV float64, class int) []float64 {
+	// Variance budget: the weekly sinusoid contributes CV ≈ A/√2; the
+	// remainder is split between log-normal noise and (for classes 3–4, i.e.
+	// σ ≥ 0.5) a persistent burst regime, 50/50 in variance terms.
+	seasonalCV := cfg.WeeklyAmplitude / math.Sqrt2
+	residVar := targetCV*targetCV - seasonalCV*seasonalCV
+	if residVar < 0 {
+		residVar = 0
+	}
+	burstVar := 0.0
+	if class >= 3 {
+		burstVar = residVar / 2
+	}
+	noiseVar := residVar - burstVar
+	// Log-normal with CV² = v has sigma = sqrt(ln(1+v)).
+	noiseSigma := math.Sqrt(math.Log(1 + noiseVar))
+
+	// Two-point burst process with mean 1, variance burstVar and persistence.
+	p := burstStationaryProb
+	spread := math.Sqrt(burstVar / (p * (1 - p)))
+	burstHigh := 1 + (1-p)*spread
+	burstLow := 1 - p*spread
+	if burstLow < 0.05 {
+		burstLow = 0.05
+	}
+	enterProb := burstExitProb * p / (1 - p)
+
+	phase := r.Float64() * 2 * math.Pi
+	inBurst := r.Float64() < p
+	out := make([]float64, cfg.Days)
+	for d := 0; d < cfg.Days; d++ {
+		weekly := 1 + cfg.WeeklyAmplitude*math.Sin(2*math.Pi*float64(d)/7+phase)
+		noise := 1.0
+		if noiseSigma > 0 {
+			noise = r.LogNormal(-noiseSigma*noiseSigma/2, noiseSigma)
+		}
+		regime := 1.0
+		if burstVar > 0 {
+			if inBurst {
+				regime = burstHigh
+				if r.Float64() < burstExitProb {
+					inBurst = false
+				}
+			} else {
+				regime = burstLow
+				if r.Float64() < enterProb {
+					inBurst = true
+				}
+			}
+		}
+		v := base * weekly * noise * regime
+		if cfg.IntegerCounts {
+			v = float64(r.Poisson(v))
+		}
+		out[d] = v
+	}
+	return out
+}
+
+// allocateClasses deterministically assigns n files to volatility classes
+// with counts proportional to shares (largest-remainder rounding), then
+// shuffles the assignment.
+func allocateClasses(shares [NumBuckets]float64, n int, r *rng.RNG) []int {
+	counts := make([]int, NumBuckets)
+	frac := make([]float64, NumBuckets)
+	total := 0
+	for i, s := range shares {
+		exact := s * float64(n)
+		counts[i] = int(exact)
+		frac[i] = exact - float64(counts[i])
+		total += counts[i]
+	}
+	for total < n {
+		best := 0
+		for i := 1; i < NumBuckets; i++ {
+			if frac[i] > frac[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		frac[best] = -1
+		total++
+	}
+	out := make([]int, 0, n)
+	for class, c := range counts {
+		for k := 0; k < c; k++ {
+			out = append(out, class)
+		}
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// buildGroups partitions a GroupFraction subset of files into concurrency
+// groups. Members are grouped adjacent in popularity (the assets of one
+// webpage see similar traffic), so head groups carry enough concurrency to
+// clear Eq. 15 while tail groups do not — giving the aggregator a real
+// selection problem. Daily concurrency is a share of the minimum member
+// read frequency so the Validate invariant (concurrent ≤ each member's
+// reads) holds by construction.
+func buildGroups(tr *Trace, cfg GenConfig, r *rng.RNG) []Group {
+	n := tr.NumFiles()
+	pool := r.Perm(n)[:int(cfg.GroupFraction*float64(n))]
+	sort.Slice(pool, func(a, b int) bool {
+		return Mean(tr.Reads[pool[a]]) > Mean(tr.Reads[pool[b]])
+	})
+	var groups []Group
+	for len(pool) >= cfg.GroupSizeMin {
+		size := cfg.GroupSizeMin
+		if cfg.GroupSizeMax > cfg.GroupSizeMin {
+			size += r.Intn(cfg.GroupSizeMax - cfg.GroupSizeMin + 1)
+		}
+		if size > len(pool) {
+			size = len(pool)
+		}
+		members := append([]int(nil), pool[:size]...)
+		pool = pool[size:]
+		share := cfg.ConcurrencyLo + r.Float64()*(cfg.ConcurrencyHi-cfg.ConcurrencyLo)
+		conc := make([]float64, tr.Days)
+		for d := 0; d < tr.Days; d++ {
+			minReads := math.Inf(1)
+			for _, m := range members {
+				if tr.Reads[m][d] < minReads {
+					minReads = tr.Reads[m][d]
+				}
+			}
+			conc[d] = share * minReads
+		}
+		groups = append(groups, Group{Members: members, Concurrent: conc})
+	}
+	return groups
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"minicost/internal/rng"
+)
+
+// The paper's raw Wikipedia trace is hourly ("this trace includes hourly
+// Wikipedia page views per article") and is re-formatted to daily
+// frequencies because the CSP bills by day (§6.1). These helpers model that
+// pipeline: ExpandHourly turns a daily trace into per-hour request counts
+// with a diurnal profile, and DailyFromHourly folds hourly data back to the
+// daily form every other component consumes.
+
+// HoursPerDay is the hourly resolution of the raw trace.
+const HoursPerDay = 24
+
+// Hourly holds per-file hourly read counts: Reads[file][day*24+hour].
+type Hourly struct {
+	Days  int
+	Reads [][]float64
+}
+
+// diurnalWeight is a 24-hour activity profile (fraction of a day's traffic
+// per hour, summing to 1): low at night, peaking in the evening — the usual
+// web-traffic shape.
+var diurnalWeight = func() [HoursPerDay]float64 {
+	var w [HoursPerDay]float64
+	total := 0.0
+	for h := 0; h < HoursPerDay; h++ {
+		// Two-lobe profile: midday and evening bumps over a night-time floor.
+		v := 0.3 +
+			0.8*math.Exp(-sq(float64(h)-13)/18) +
+			1.0*math.Exp(-sq(float64(h)-20)/8)
+		w[h] = v
+		total += v
+	}
+	for h := range w {
+		w[h] /= total
+	}
+	return w
+}()
+
+func sq(x float64) float64 { return x * x }
+
+// ExpandHourly distributes each file's daily read frequency over 24 hours
+// using the diurnal profile with multiplicative log-normal noise, seeded
+// deterministically. The hourly totals preserve each day's frequency
+// exactly (the noise is renormalised within the day).
+func ExpandHourly(tr *Trace, seed uint64) *Hourly {
+	root := rng.New(seed)
+	out := &Hourly{Days: tr.Days, Reads: make([][]float64, tr.NumFiles())}
+	for i := range tr.Reads {
+		r := root.Split(uint64(i) + 0x40421)
+		hours := make([]float64, tr.Days*HoursPerDay)
+		for d := 0; d < tr.Days; d++ {
+			var noisy [HoursPerDay]float64
+			total := 0.0
+			for h := 0; h < HoursPerDay; h++ {
+				noisy[h] = diurnalWeight[h] * r.LogNormal(0, 0.3)
+				total += noisy[h]
+			}
+			daily := tr.Reads[i][d]
+			for h := 0; h < HoursPerDay; h++ {
+				hours[d*HoursPerDay+h] = daily * noisy[h] / total
+			}
+		}
+		out.Reads[i] = hours
+	}
+	return out
+}
+
+// DailyFromHourly folds hourly read counts back into daily frequencies —
+// the paper's "re-formatted the trace data into daily request frequencies".
+// Metadata, writes and groups are copied from the template trace, which
+// must have matching shape.
+func DailyFromHourly(h *Hourly, template *Trace) (*Trace, error) {
+	if len(h.Reads) != template.NumFiles() {
+		return nil, fmt.Errorf("trace: hourly has %d files, template %d", len(h.Reads), template.NumFiles())
+	}
+	out := &Trace{Days: h.Days, Files: template.Files, Writes: template.Writes, Groups: template.Groups}
+	out.Reads = make([][]float64, len(h.Reads))
+	for i, hours := range h.Reads {
+		if len(hours) != h.Days*HoursPerDay {
+			return nil, fmt.Errorf("trace: file %d has %d hours, want %d", i, len(hours), h.Days*HoursPerDay)
+		}
+		daily := make([]float64, h.Days)
+		for d := 0; d < h.Days; d++ {
+			s := 0.0
+			for hh := 0; hh < HoursPerDay; hh++ {
+				s += hours[d*HoursPerDay+hh]
+			}
+			daily[d] = s
+		}
+		out.Reads[i] = daily
+	}
+	return out, nil
+}
+
+// PeakHourShare returns, for one file-day, the largest fraction of the
+// day's traffic landing in a single hour — a burstiness diagnostic used by
+// the trace analysis.
+func (h *Hourly) PeakHourShare(file, day int) (float64, error) {
+	if file < 0 || file >= len(h.Reads) || day < 0 || day >= h.Days {
+		return 0, fmt.Errorf("trace: peak share out of range (file %d, day %d)", file, day)
+	}
+	total, peak := 0.0, 0.0
+	for hh := 0; hh < HoursPerDay; hh++ {
+		v := h.Reads[file][day*HoursPerDay+hh]
+		total += v
+		if v > peak {
+			peak = v
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return peak / total, nil
+}

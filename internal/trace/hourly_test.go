@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func hourlyFixture(t *testing.T) (*Trace, *Hourly) {
+	t.Helper()
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 30
+	cfg.Days = 10
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, ExpandHourly(tr, 7)
+}
+
+func TestExpandHourlyPreservesDailyTotals(t *testing.T) {
+	tr, h := hourlyFixture(t)
+	back, err := DailyFromHourly(h, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Reads {
+		for d := range tr.Reads[i] {
+			if math.Abs(back.Reads[i][d]-tr.Reads[i][d]) > 1e-9*(1+tr.Reads[i][d]) {
+				t.Fatalf("file %d day %d: %v != %v", i, d, back.Reads[i][d], tr.Reads[i][d])
+			}
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandHourlyDeterministic(t *testing.T) {
+	tr, h1 := hourlyFixture(t)
+	h2 := ExpandHourly(tr, 7)
+	for i := range h1.Reads {
+		for k := range h1.Reads[i] {
+			if h1.Reads[i][k] != h2.Reads[i][k] {
+				t.Fatal("hourly expansion not deterministic")
+			}
+		}
+	}
+	h3 := ExpandHourly(tr, 8)
+	same := true
+	for k := range h1.Reads[0] {
+		if h1.Reads[0][k] != h3.Reads[0][k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical hourly series")
+	}
+}
+
+func TestHourlyNonNegative(t *testing.T) {
+	_, h := hourlyFixture(t)
+	for i := range h.Reads {
+		for k, v := range h.Reads[i] {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("file %d hour %d: %v", i, k, v)
+			}
+		}
+	}
+}
+
+func TestDiurnalProfileShapesTraffic(t *testing.T) {
+	// Averaged over many file-days, evening hours must carry more traffic
+	// than night hours.
+	tr, h := hourlyFixture(t)
+	var night, evening float64
+	for i := range tr.Reads {
+		mean := Mean(tr.Reads[i])
+		if mean == 0 {
+			continue
+		}
+		for d := 0; d < h.Days; d++ {
+			night += h.Reads[i][d*HoursPerDay+4] / mean
+			evening += h.Reads[i][d*HoursPerDay+20] / mean
+		}
+	}
+	if evening <= night*1.5 {
+		t.Fatalf("evening traffic %v not clearly above night %v", evening, night)
+	}
+}
+
+func TestPeakHourShare(t *testing.T) {
+	_, h := hourlyFixture(t)
+	share, err := h.PeakHourShare(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 1.0/HoursPerDay || share > 1 {
+		t.Fatalf("peak share %v out of range", share)
+	}
+	if _, err := h.PeakHourShare(-1, 0); err == nil {
+		t.Fatal("bad file accepted")
+	}
+	if _, err := h.PeakHourShare(0, 99); err == nil {
+		t.Fatal("bad day accepted")
+	}
+}
+
+func TestDailyFromHourlyValidation(t *testing.T) {
+	tr, h := hourlyFixture(t)
+	short := &Hourly{Days: h.Days, Reads: h.Reads[:5]}
+	if _, err := DailyFromHourly(short, tr); err == nil {
+		t.Fatal("file-count mismatch accepted")
+	}
+	ragged := &Hourly{Days: h.Days, Reads: append([][]float64{}, h.Reads...)}
+	ragged.Reads[0] = ragged.Reads[0][:10]
+	if _, err := DailyFromHourly(ragged, tr); err == nil {
+		t.Fatal("ragged hours accepted")
+	}
+}

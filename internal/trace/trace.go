@@ -1,0 +1,194 @@
+// Package trace models the workload MiniCost is evaluated on: per-file daily
+// read/write request-frequency series over a multi-week horizon, file sizes,
+// and concurrent-request groups.
+//
+// The paper drives its experiments with the Wikimedia pagecounts dump
+// (~4 M articles, Jul 15 – Sep 15). That dump is substituted here by a
+// seeded synthetic generator (see Generate) calibrated to the paper's own
+// measurements of the trace; Trace also round-trips through CSV so a real
+// pagecounts extract can be loaded instead.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Trace holds per-file daily request-frequency series plus the concurrency
+// structure used by the aggregation enhancement.
+//
+// Frequencies are float64 expected daily counts: the paper re-formats the
+// hourly trace into daily request frequencies, and the cost model (Eqs. 7–8)
+// consumes frequencies, not individual events.
+type Trace struct {
+	Days  int
+	Files []FileMeta
+	// Reads[i][d] / Writes[i][d] are file i's read/write frequency on day d.
+	Reads  [][]float64
+	Writes [][]float64
+	// Groups are sets of files that receive concurrent requests (files
+	// linked to one webpage, §5.2). May be empty.
+	Groups []Group
+}
+
+// FileMeta is the per-file static metadata.
+type FileMeta struct {
+	ID     int
+	SizeGB float64
+	// Bucket is the volatility class the generator *targeted* for this file
+	// (0–4, see Buckets). Analysis code should use the realized SigmaCV
+	// instead; Bucket exists for generator diagnostics.
+	Bucket int
+	// Datacenter the file lives in; empty means the single default
+	// datacenter.
+	Datacenter string
+}
+
+// Group is a set of files requested concurrently. Concurrent[d] is r_dc, the
+// number of concurrent request events on day d that touch every member.
+type Group struct {
+	Members    []int
+	Concurrent []float64
+}
+
+// NumFiles returns the number of files in the trace.
+func (tr *Trace) NumFiles() int { return len(tr.Files) }
+
+// Validate checks structural invariants: matching lengths, non-negative
+// frequencies, group members in range, and concurrency bounded by every
+// member's read frequency (a concurrent request to all members is in
+// particular a request to each).
+func (tr *Trace) Validate() error {
+	if tr.Days <= 0 {
+		return errors.New("trace: non-positive Days")
+	}
+	n := len(tr.Files)
+	if len(tr.Reads) != n || len(tr.Writes) != n {
+		return fmt.Errorf("trace: %d files but %d read and %d write series", n, len(tr.Reads), len(tr.Writes))
+	}
+	for i := 0; i < n; i++ {
+		if tr.Files[i].SizeGB <= 0 {
+			return fmt.Errorf("trace: file %d has non-positive size", i)
+		}
+		if len(tr.Reads[i]) != tr.Days || len(tr.Writes[i]) != tr.Days {
+			return fmt.Errorf("trace: file %d series length != Days", i)
+		}
+		for d := 0; d < tr.Days; d++ {
+			if tr.Reads[i][d] < 0 || tr.Writes[i][d] < 0 || math.IsNaN(tr.Reads[i][d]) || math.IsNaN(tr.Writes[i][d]) {
+				return fmt.Errorf("trace: file %d day %d has invalid frequency", i, d)
+			}
+		}
+	}
+	for gi, g := range tr.Groups {
+		if len(g.Members) < 2 {
+			return fmt.Errorf("trace: group %d has fewer than 2 members", gi)
+		}
+		if len(g.Concurrent) != tr.Days {
+			return fmt.Errorf("trace: group %d concurrency length != Days", gi)
+		}
+		seen := make(map[int]bool, len(g.Members))
+		for _, m := range g.Members {
+			if m < 0 || m >= n {
+				return fmt.Errorf("trace: group %d member %d out of range", gi, m)
+			}
+			if seen[m] {
+				return fmt.Errorf("trace: group %d repeats member %d", gi, m)
+			}
+			seen[m] = true
+		}
+		for d := 0; d < tr.Days; d++ {
+			if g.Concurrent[d] < 0 {
+				return fmt.Errorf("trace: group %d day %d negative concurrency", gi, d)
+			}
+			for _, m := range g.Members {
+				if g.Concurrent[d] > tr.Reads[m][d]+1e-9 {
+					return fmt.Errorf("trace: group %d day %d concurrency %v exceeds member %d reads %v",
+						gi, d, g.Concurrent[d], m, tr.Reads[m][d])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Window returns a view of days [from, to) sharing the underlying series
+// storage. Group concurrency is sliced alongside.
+func (tr *Trace) Window(from, to int) (*Trace, error) {
+	if from < 0 || to > tr.Days || from >= to {
+		return nil, fmt.Errorf("trace: invalid window [%d,%d) of %d days", from, to, tr.Days)
+	}
+	out := &Trace{Days: to - from, Files: tr.Files}
+	out.Reads = make([][]float64, len(tr.Reads))
+	out.Writes = make([][]float64, len(tr.Writes))
+	for i := range tr.Reads {
+		out.Reads[i] = tr.Reads[i][from:to]
+		out.Writes[i] = tr.Writes[i][from:to]
+	}
+	out.Groups = make([]Group, len(tr.Groups))
+	for i, g := range tr.Groups {
+		out.Groups[i] = Group{Members: g.Members, Concurrent: g.Concurrent[from:to]}
+	}
+	return out, nil
+}
+
+// Subset returns a new trace containing only the selected files (deep
+// metadata copy, shared series slices). Groups whose members are not all
+// selected are dropped; surviving groups are re-indexed.
+func (tr *Trace) Subset(fileIdx []int) *Trace {
+	remap := make(map[int]int, len(fileIdx))
+	out := &Trace{Days: tr.Days}
+	for newID, old := range fileIdx {
+		remap[old] = newID
+		meta := tr.Files[old]
+		meta.ID = newID
+		out.Files = append(out.Files, meta)
+		out.Reads = append(out.Reads, tr.Reads[old])
+		out.Writes = append(out.Writes, tr.Writes[old])
+	}
+	for _, g := range tr.Groups {
+		members := make([]int, 0, len(g.Members))
+		ok := true
+		for _, m := range g.Members {
+			nm, in := remap[m]
+			if !in {
+				ok = false
+				break
+			}
+			members = append(members, nm)
+		}
+		if ok {
+			out.Groups = append(out.Groups, Group{Members: members, Concurrent: g.Concurrent})
+		}
+	}
+	return out
+}
+
+// SplitTrainTest partitions files into a training subset holding trainFrac
+// of the files and a test subset with the rest, using the deterministic
+// permutation perm (len == NumFiles). The paper trains on a random 80 % of
+// files and tests on the remaining 20 % (§6.1).
+func (tr *Trace) SplitTrainTest(trainFrac float64, perm []int) (train, test *Trace, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("trace: trainFrac %v outside (0,1)", trainFrac)
+	}
+	if len(perm) != tr.NumFiles() {
+		return nil, nil, fmt.Errorf("trace: perm length %d != files %d", len(perm), tr.NumFiles())
+	}
+	cut := int(math.Round(trainFrac * float64(tr.NumFiles())))
+	if cut == 0 || cut == tr.NumFiles() {
+		return nil, nil, errors.New("trace: split leaves an empty side")
+	}
+	return tr.Subset(perm[:cut]), tr.Subset(perm[cut:]), nil
+}
+
+// TotalRequests returns the sum of read frequencies over all files and days.
+func (tr *Trace) TotalRequests() float64 {
+	total := 0.0
+	for _, s := range tr.Reads {
+		for _, v := range s {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,477 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minicost/internal/rng"
+)
+
+func smallCfg() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 300
+	cfg.Days = 35
+	return cfg
+}
+
+func TestGenerateValidates(t *testing.T) {
+	tr, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	if tr.NumFiles() != 300 || tr.Days != 35 {
+		t.Fatalf("shape %d files %d days", tr.NumFiles(), tr.Days)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	cfg := smallCfg()
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Reads[0], c.Reads[0]) {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestGenerateDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Workers = 1
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Reads, b.Reads) {
+		t.Fatal("worker count changed the generated trace")
+	}
+}
+
+func TestBucketSharesMatchFig2(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 4000
+	cfg.Days = 63
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := BucketShares(tr.SigmaHistogram())
+	// Realized CV is stochastic: allow generous slack but demand the
+	// qualitative Fig. 2 shape (dominant first bucket, thin tail).
+	if shares[0] < 0.70 {
+		t.Fatalf("stationary share %v, want >= 0.70 (target 0.8175)", shares[0])
+	}
+	if shares[4] > 0.05 {
+		t.Fatalf(">0.8 share %v, want small (target 0.0063)", shares[4])
+	}
+	for b := 0; b < NumBuckets; b++ {
+		if math.Abs(shares[b]-PaperBucketShares[b]) > 0.10 {
+			t.Fatalf("bucket %d share %v vs paper %v beyond ±0.10", b, shares[b], PaperBucketShares[b])
+		}
+	}
+}
+
+func TestTargetCVRealized(t *testing.T) {
+	// Per-class mean realized CV should land inside (or very near) the
+	// class's σ range.
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 3000
+	cfg.Days = 63
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([]float64, NumBuckets)
+	counts := make([]int, NumBuckets)
+	for i := range tr.Files {
+		c := tr.Files[i].Bucket
+		sums[c] += SigmaCV(tr.Reads[i])
+		counts[c]++
+	}
+	for c := 0; c < NumBuckets; c++ {
+		if counts[c] == 0 {
+			t.Fatalf("class %d empty", c)
+		}
+		mean := sums[c] / float64(counts[c])
+		lo := Buckets[c].Lo * 0.5
+		hi := Buckets[c].Hi * 1.5
+		if math.IsInf(hi, 1) {
+			hi = 3
+		}
+		if c == 0 {
+			lo, hi = 0, 0.15
+		}
+		if mean < lo || mean > hi {
+			t.Errorf("class %d mean realized CV %v outside [%v,%v]", c, mean, lo, hi)
+		}
+	}
+}
+
+func TestSizesPoissonAroundMean(t *testing.T) {
+	cfg := smallCfg()
+	cfg.NumFiles = 2000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, f := range tr.Files {
+		if f.SizeGB <= 0 {
+			t.Fatal("non-positive size")
+		}
+		sum += f.SizeGB
+	}
+	mean := sum / float64(len(tr.Files))
+	if math.Abs(mean-cfg.MeanSizeGB) > 0.01 {
+		t.Fatalf("mean size %v GB, want ~%v", mean, cfg.MeanSizeGB)
+	}
+}
+
+func TestWeeklyCycleDetectable(t *testing.T) {
+	// With amplitude raised and noise suppressed, autocorrelation at lag 7
+	// must dominate lags 2..6 for stationary files.
+	cfg := smallCfg()
+	cfg.WeeklyAmplitude = 0.3
+	cfg.BucketShares = [NumBuckets]float64{1, 0, 0, 0, 0}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for i := 0; i < 50; i++ {
+		ac7 := autocorr(tr.Reads[i], 7)
+		best := true
+		for lag := 2; lag <= 5; lag++ {
+			if autocorr(tr.Reads[i], lag) > ac7 {
+				best = false
+				break
+			}
+		}
+		if best {
+			wins++
+		}
+	}
+	if wins < 35 {
+		t.Fatalf("weekly cycle dominant in only %d/50 files", wins)
+	}
+}
+
+func autocorr(xs []float64, lag int) float64 {
+	m := Mean(xs)
+	num, den := 0.0, 0.0
+	for i := 0; i < len(xs); i++ {
+		den += (xs[i] - m) * (xs[i] - m)
+	}
+	for i := 0; i+lag < len(xs); i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func TestGroupsRespectConcurrencyBound(t *testing.T) {
+	tr, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Groups) == 0 {
+		t.Fatal("expected concurrency groups")
+	}
+	// Validate() already enforces the bound; double-check a sample directly.
+	g := tr.Groups[0]
+	for d := 0; d < tr.Days; d++ {
+		for _, m := range g.Members {
+			if g.Concurrent[d] > tr.Reads[m][d] {
+				t.Fatalf("day %d: concurrency %v > member reads %v", d, g.Concurrent[d], tr.Reads[m][d])
+			}
+		}
+	}
+}
+
+func TestGenerateIntegerCounts(t *testing.T) {
+	cfg := smallCfg()
+	cfg.IntegerCounts = true
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Reads {
+		for d := range tr.Reads[i] {
+			if tr.Reads[i][d] != math.Trunc(tr.Reads[i][d]) {
+				t.Fatal("IntegerCounts produced fractional reads")
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := func(mut func(*GenConfig)) GenConfig {
+		cfg := DefaultGenConfig()
+		mut(&cfg)
+		return cfg
+	}
+	cases := []GenConfig{
+		bad(func(c *GenConfig) { c.NumFiles = 0 }),
+		bad(func(c *GenConfig) { c.Days = 1 }),
+		bad(func(c *GenConfig) { c.MeanSizeGB = 0 }),
+		bad(func(c *GenConfig) { c.ZipfExponent = -1 }),
+		bad(func(c *GenConfig) { c.BaseDailyReads = 0 }),
+		bad(func(c *GenConfig) { c.WriteFraction = -0.1 }),
+		bad(func(c *GenConfig) { c.WeeklyAmplitude = 1.2 }),
+		bad(func(c *GenConfig) { c.GroupSizeMin = 1 }),
+		bad(func(c *GenConfig) { c.ConcurrencyHi = 1.5 }),
+		bad(func(c *GenConfig) { c.BucketShares = [NumBuckets]float64{1, 1, 0, 0, 0} }),
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSigmaMatchesEquation1(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample std dev with T-1 denominator: mean 5, SS=32, 32/7
+	want := math.Sqrt(32.0 / 7.0)
+	if got := Sigma(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sigma = %v, want %v", got, want)
+	}
+	if Sigma([]float64{5}) != 0 || Sigma(nil) != 0 {
+		t.Fatal("degenerate Sigma should be 0")
+	}
+}
+
+func TestSigmaCV(t *testing.T) {
+	if got := SigmaCV([]float64{10, 10, 10}); got != 0 {
+		t.Fatalf("constant series CV = %v", got)
+	}
+	if got := SigmaCV([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("zero series CV = %v", got)
+	}
+	// Scaling invariance: CV(k·x) == CV(x).
+	f := func(seed uint64, kRaw uint8) bool {
+		r := rng.New(seed)
+		k := 1 + float64(kRaw)
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = 1 + r.Float64()*10
+			ys[i] = k * xs[i]
+		}
+		return math.Abs(SigmaCV(xs)-SigmaCV(ys)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	for _, tc := range []struct {
+		cv   float64
+		want int
+	}{{0, 0}, {0.05, 0}, {0.0999, 0}, {0.1, 1}, {0.29, 1}, {0.3, 2}, {0.49, 2}, {0.5, 3}, {0.79, 3}, {0.8, 4}, {5, 4}} {
+		if got := BucketOf(tc.cv); got != tc.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", tc.cv, got, tc.want)
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tr.Window(7, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Days != 14 {
+		t.Fatalf("window days %d", w.Days)
+	}
+	if w.Reads[3][0] != tr.Reads[3][7] {
+		t.Fatal("window misaligned")
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 5}, {5, 5}, {0, 99}} {
+		if _, err := tr.Window(bad[0], bad[1]); err == nil {
+			t.Errorf("window %v accepted", bad)
+		}
+	}
+}
+
+func TestSubsetAndSplit(t *testing.T) {
+	tr, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rng.New(9).Perm(tr.NumFiles())
+	train, test, err := tr.SplitTrainTest(0.8, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumFiles()+test.NumFiles() != tr.NumFiles() {
+		t.Fatal("split loses files")
+	}
+	if got := train.NumFiles(); got != 240 {
+		t.Fatalf("train files %d, want 240", got)
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatalf("train invalid: %v", err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatalf("test invalid: %v", err)
+	}
+	// Groups must only survive when fully contained in one side.
+	for _, g := range train.Groups {
+		for _, m := range g.Members {
+			if m < 0 || m >= train.NumFiles() {
+				t.Fatal("train group member out of range after re-index")
+			}
+		}
+	}
+	if _, _, err := tr.SplitTrainTest(1.5, perm); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if _, _, err := tr.SplitTrainTest(0.5, perm[:3]); err == nil {
+		t.Error("bad perm accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := smallCfg()
+	cfg.NumFiles = 40
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("CSV round trip changed the trace")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"bananas,3",
+		"days,0",
+		"days,notanumber",
+		"days,2\nfile,0,0.1,0,dc,1", // wrong field count
+		"days,2\nwat,1,2",
+		"days,2\nfile,0,0.1,0,dc,1,2,x,4", // bad float
+		"days,2\ngroup,0;zzz,1,1",         // bad member
+		"days,2\nfile,0,-1,0,dc,1,2,3,4",  // invalid (negative size) -> Validate
+		"days,2\ngroup,0;1,1,1",           // members out of range (no files)
+	} {
+		if _, err := ReadCSV(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("ReadCSV accepted %q", s)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Trace {
+		tr, err := Generate(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr := mk()
+	tr.Reads[0][0] = -1
+	if tr.Validate() == nil {
+		t.Error("negative read accepted")
+	}
+	tr = mk()
+	tr.Reads[0][0] = math.NaN()
+	if tr.Validate() == nil {
+		t.Error("NaN read accepted")
+	}
+	tr = mk()
+	tr.Files[0].SizeGB = 0
+	if tr.Validate() == nil {
+		t.Error("zero size accepted")
+	}
+	tr = mk()
+	if len(tr.Groups) > 0 {
+		tr.Groups[0].Concurrent[0] = math.Inf(1)
+		if tr.Validate() == nil {
+			t.Error("unbounded concurrency accepted")
+		}
+	}
+	tr = mk()
+	if len(tr.Groups) > 0 {
+		tr.Groups[0].Members = []int{1, 1}
+		if tr.Validate() == nil {
+			t.Error("duplicate group member accepted")
+		}
+	}
+}
+
+func TestTotalRequestsPositive(t *testing.T) {
+	tr, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalRequests() <= 0 {
+		t.Fatal("no requests generated")
+	}
+}
+
+func BenchmarkGenerate1kFiles63Days(b *testing.B) {
+	cfg := DefaultGenConfig()
+	cfg.NumFiles = 1000
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSigmaHistogram(b *testing.B) {
+	tr, err := Generate(smallCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SigmaHistogram()
+	}
+}

@@ -1,0 +1,210 @@
+// Package minicost is the public API of the MiniCost library — a
+// reproduction of "A Reinforcement Learning Based System for Minimizing
+// Cloud Storage Service Cost" (Wang et al., ICPP 2020).
+//
+// MiniCost assigns a web application's data files to cloud storage tiers
+// (hot / cool / archive) over time so as to minimize the total payment to
+// the cloud service provider. It formulates the problem as an MDP and
+// solves it with an A3C reinforcement-learning agent; a concurrent-request
+// aggregation enhancement further trims the bill.
+//
+// Typical use:
+//
+//	tr, _ := minicost.GenerateTrace(minicost.DefaultTraceConfig())
+//	sys, _ := minicost.New(minicost.DefaultConfig())
+//	sys.Train(tr)                 // fit the agent on historical data
+//	report, _ := sys.Run(tr)      // serve and meter a workload
+//	fmt.Println(report.Total)
+//
+// The heavy lifting lives in internal packages; this package re-exports the
+// stable surface. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-reproduction results.
+package minicost
+
+import (
+	"io"
+
+	"minicost/internal/agentserver"
+	"minicost/internal/aggregate"
+	"minicost/internal/core"
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/multidc"
+	"minicost/internal/policy"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/trace"
+)
+
+// Tier identifies a storage tier.
+type Tier = pricing.Tier
+
+// The supported tiers.
+const (
+	Hot     = pricing.Hot
+	Cool    = pricing.Cool
+	Archive = pricing.Archive
+)
+
+// PricingPolicy is a CSP's per-tier price schedule.
+type PricingPolicy = pricing.Policy
+
+// AzurePricing returns the default Azure-Block-Blob-like schedule used in
+// the paper's experiments.
+func AzurePricing() *PricingPolicy { return pricing.Azure() }
+
+// ParsePricing decodes and validates a JSON price schedule.
+func ParsePricing(data []byte) (*PricingPolicy, error) { return pricing.ParsePolicy(data) }
+
+// Trace is a workload: per-file daily read/write frequencies, sizes and
+// concurrent-request groups.
+type Trace = trace.Trace
+
+// TraceFileMeta is a file's static metadata inside a Trace.
+type TraceFileMeta = trace.FileMeta
+
+// TraceGroup is a set of files receiving concurrent requests.
+type TraceGroup = trace.Group
+
+// TraceConfig parameterizes the synthetic Wikipedia-like generator.
+type TraceConfig = trace.GenConfig
+
+// DefaultTraceConfig returns the workload profile calibrated to the paper's
+// measurements (Fig. 2 volatility shares, 100 MB Poisson sizes, weekly
+// cycle).
+func DefaultTraceConfig() TraceConfig { return trace.DefaultGenConfig() }
+
+// GenerateTrace produces a deterministic synthetic workload.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// ReadTraceCSV loads a workload written with Trace.WriteCSV.
+func ReadTraceCSV(r io.Reader) (*Trace, error) { return trace.ReadCSV(r) }
+
+// Breakdown is a bill split into the paper's four cost components
+// (storage, read, write, tier transition).
+type Breakdown = costmodel.Breakdown
+
+// Config configures a System.
+type Config = core.Config
+
+// DefaultConfig returns the paper's system configuration (§6.1): the A3C
+// agent with a 128-filter conv front-end and 128-neuron hidden layer,
+// Azure pricing, files starting hot.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// AggregationConfig controls the §5.2 concurrent-request aggregation
+// enhancement; set Config.Aggregation to enable it.
+type AggregationConfig = aggregate.Config
+
+// DefaultAggregationConfig returns the paper's enhancement settings.
+func DefaultAggregationConfig() AggregationConfig { return aggregate.DefaultConfig() }
+
+// System is a MiniCost instance: train it on a historical trace, then run
+// it over a live workload.
+type System = core.System
+
+// New builds a system from a configuration.
+func New(cfg Config) (*System, error) { return core.New(cfg) }
+
+// RunReport is the outcome of System.Run: the metered bill, per-day ledger,
+// decision-time accounting and tier-change counts.
+type RunReport = core.RunReport
+
+// TrainStats summarizes a training run.
+type TrainStats = rl.TrainStats
+
+// RewardConfig is Eq. 4's parameterisation (α, Δ and stabilisers).
+type RewardConfig = mdp.RewardConfig
+
+// DefaultReward returns the reward settings used in the experiments.
+func DefaultReward() RewardConfig { return mdp.DefaultReward() }
+
+// Assigner is a tier-assignment strategy: given a workload it produces a
+// per-file per-day tier plan. The paper's baselines are exposed below.
+type Assigner = policy.Assigner
+
+// Baselines.
+
+// HotBaseline keeps every file hot.
+func HotBaseline() Assigner { return policy.Static{Tier: pricing.Hot} }
+
+// ColdBaseline keeps every file in the cool ("cold") tier.
+func ColdBaseline() Assigner { return policy.Static{Tier: pricing.Cool} }
+
+// ArchiveBaseline keeps every file archived.
+func ArchiveBaseline() Assigner { return policy.Static{Tier: pricing.Archive} }
+
+// GreedyBaseline is the paper's per-day myopic comparison algorithm.
+func GreedyBaseline() Assigner { return policy.Greedy{} }
+
+// OptimalBaseline is the offline exact optimum (the paper's
+// "brutal-force" lower bound, computed by an equivalent dynamic program).
+func OptimalBaseline() Assigner { return policy.Optimal{} }
+
+// PredictiveBaseline re-tiers weekly from ARIMA forecasts (an extension the
+// paper's §3 motivates).
+func PredictiveBaseline() Assigner { return policy.DefaultPredictive() }
+
+// EvaluateAssigner prices an assigner's plan on a trace under a pricing
+// policy (files start hot). It returns the total bill.
+func EvaluateAssigner(a Assigner, tr *Trace, p *PricingPolicy) (Breakdown, error) {
+	bd, _, err := policy.Evaluate(a, tr, costmodel.New(p), pricing.Hot)
+	return bd, err
+}
+
+// Multi-datacenter deployments (§4.1: the file set spans datacenters, each
+// with its own pricing policy).
+
+// Catalog maps datacenter IDs to pricing policies.
+type Catalog = pricing.Catalog
+
+// NewCatalog returns an empty datacenter catalog.
+func NewCatalog() *Catalog { return pricing.NewCatalog() }
+
+// Deployment evaluates policies across a multi-datacenter workload.
+type Deployment = multidc.Deployment
+
+// DatacenterBill is one datacenter's share of a deployment evaluation.
+type DatacenterBill = multidc.Bill
+
+// NewDeployment builds a deployment over a catalog; files without a
+// datacenter label use defaultDC.
+func NewDeployment(c *Catalog, defaultDC string) (*Deployment, error) {
+	return multidc.New(c, defaultDC)
+}
+
+// AssignDatacenters spreads a trace's files round-robin across datacenters,
+// returning a labeled copy.
+func AssignDatacenters(tr *Trace, dcs []string) (*Trace, error) {
+	return multidc.AssignDatacenters(tr, dcs)
+}
+
+// Agent serving (the paper's §4.2 agent server).
+
+// AgentServer exposes a trained agent over HTTP (observe/plan endpoints).
+type AgentServer = agentserver.Server
+
+// NewAgentServer wraps a system's trained agent as an HTTP service; mount
+// AgentServer.Handler on any mux.
+func NewAgentServer(sys *System, initial Tier) (*AgentServer, error) {
+	agent := sys.Agent()
+	if agent == nil {
+		return nil, core.ErrUntrained
+	}
+	return agentserver.New(agent, initial)
+}
+
+// AgentClient is the typed client for AgentServer's HTTP API.
+type AgentClient = agentserver.Client
+
+// NewAgentClient returns a client for the given base URL.
+func NewAgentClient(baseURL string) *AgentClient { return agentserver.NewClient(baseURL) }
+
+// AgentFileObservation is one file's daily measurement sent to the service.
+type AgentFileObservation = agentserver.FileObservation
+
+// AgentObserveRequest is one day's observation batch.
+type AgentObserveRequest = agentserver.ObserveRequest
+
+// AgentPlanResponse is the assignment plan returned by the service.
+type AgentPlanResponse = agentserver.PlanResponse
