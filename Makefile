@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check bench-inference
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: formatting, vet, and the race detector across the
+# short test suite (which includes the pooled-replica and batched-inference
+# concurrency tests).
+check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# bench-inference regenerates BENCH_inference.json (single-sample vs batched
+# engine at the paper and Quick configs).
+bench-inference:
+	$(GO) run ./cmd/bench

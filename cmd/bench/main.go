@@ -1,0 +1,147 @@
+// Command bench measures the inference engine and emits BENCH_inference.json
+// so the perf trajectory is tracked from run to run: the single-sample
+// reference path versus the batched GEMM engine behind policy.RL, at the
+// paper's network configuration and at the Quick test configuration (the
+// same workloads as BenchmarkInferenceSingle/BenchmarkInferenceBatched).
+//
+// Usage:
+//
+//	bench                      # all configs, writes BENCH_inference.json
+//	bench -o results.json      # alternate output path
+//	bench -files 1024 -days 28 # heavier workload
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/policy"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+// result is one (config, engine) measurement.
+type result struct {
+	Config     string  `json:"config"`
+	HistLen    int     `json:"hist_len"`
+	Filters    int     `json:"filters"`
+	Hidden     int     `json:"hidden"`
+	Files      int     `json:"files"`
+	Days       int     `json:"days"`
+	Engine     string  `json:"engine"` // "single" or "batched"
+	Rounds     int     `json:"rounds"`
+	NsPerDec   float64 `json:"ns_per_decision"`
+	DecPerSec  float64 `json:"decisions_per_second"`
+	TotalMS    float64 `json:"total_ms"`
+	SpeedupVs1 float64 `json:"speedup_vs_single,omitempty"`
+}
+
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	GoMaxProc int      `json:"gomaxprocs"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_inference.json", "output JSON path")
+		files  = flag.Int("files", 512, "files in the bench trace")
+		days   = flag.Int("days", 14, "trace days")
+		rounds = flag.Int("rounds", 3, "timed rounds per measurement (best is kept)")
+	)
+	flag.Parse()
+
+	configs := []struct {
+		name string
+		net  rl.NetConfig
+	}{
+		{"paper128", rl.NetConfig{HistLen: 14, Filters: 128, Kernel: 4, Stride: 1, Hidden: 128}},
+		{"quick16", rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32}},
+	}
+
+	rep := report{Benchmark: "inference", GoMaxProc: runtime.GOMAXPROCS(0)}
+	for _, cfg := range configs {
+		agent := rl.NewAgent(cfg.net, cfg.net.BuildActor(rng.New(7)))
+		gen := trace.DefaultGenConfig()
+		gen.NumFiles = *files
+		gen.Days = *days
+		gen.Seed = 7
+		tr, err := trace.Generate(gen)
+		if err != nil {
+			fatal(err)
+		}
+		m := costmodel.New(pricing.Azure())
+		decisions := float64(tr.NumFiles() * tr.Days)
+
+		single := measure(policy.RL{Agent: agent, SingleSample: true}, tr, m, *rounds)
+		batched := measure(policy.RL{Agent: agent}, tr, m, *rounds)
+
+		for _, r := range []struct {
+			engine string
+			best   time.Duration
+		}{{"single", single}, {"batched", batched}} {
+			res := result{
+				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
+				Hidden: cfg.net.Hidden, Files: tr.NumFiles(), Days: tr.Days,
+				Engine: r.engine, Rounds: *rounds,
+				NsPerDec:  float64(r.best.Nanoseconds()) / decisions,
+				DecPerSec: decisions / r.best.Seconds(),
+				TotalMS:   float64(r.best.Microseconds()) / 1000,
+			}
+			if r.engine == "batched" {
+				res.SpeedupVs1 = single.Seconds() / r.best.Seconds()
+			}
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-9s %-8s %10.0f ns/decision  %12.0f decisions/s", cfg.name, r.engine, res.NsPerDec, res.DecPerSec)
+			if res.SpeedupVs1 > 0 {
+				fmt.Printf("  %.2fx vs single", res.SpeedupVs1)
+			}
+			fmt.Println()
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure times p.Assign over the trace `rounds` times (after one warm-up)
+// and returns the best round, the standard way to suppress scheduler noise.
+func measure(p policy.RL, tr *trace.Trace, m *costmodel.Model, rounds int) time.Duration {
+	if _, err := p.Assign(tr, m, pricing.Hot); err != nil {
+		fatal(err)
+	}
+	best := time.Duration(0)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := p.Assign(tr, m, pricing.Hot); err != nil {
+			fatal(err)
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+package agentserver
+
+import (
+	"sync"
+	"testing"
+
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+)
+
+// feedWeek ingests a week of observations for n files.
+func feedWeek(t *testing.T, s *Server, n int) {
+	t.Helper()
+	files := make([]FileObservation, n)
+	for i := range files {
+		files[i] = obs("f"+itoa(i), float64(i*13%997))
+	}
+	for d := 0; d < 7; d++ {
+		if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlanReplicasBoundedByConcurrency is the agentserver half of the
+// no-clone-per-request fix: serial plan requests share one pooled replica,
+// and concurrent ones are bounded by their own count.
+func TestPlanReplicasBoundedByConcurrency(t *testing.T) {
+	s, err := New(testAgent(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedWeek(t, s, 50)
+	for i := 0; i < 10; i++ {
+		if _, err := s.plan(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.stats().Replicas; got != 1 {
+		t.Fatalf("10 serial plans built %d replicas, want 1", got)
+	}
+	const concurrent = 4
+	var wg sync.WaitGroup
+	for w := 0; w < concurrent; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := s.plan(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.stats().Replicas; got > concurrent {
+		t.Fatalf("%d concurrent planners built %d replicas", concurrent, got)
+	}
+}
+
+// TestUpdateAgentRefreshesDecisions verifies a snapshot swap takes effect on
+// the next plan and that incompatible windows are rejected.
+func TestUpdateAgentRefreshesDecisions(t *testing.T) {
+	cfg := rl.NetConfig{HistLen: 7, Filters: 8, Kernel: 4, Stride: 1, Hidden: 16}
+	a1 := rl.NewAgent(cfg, cfg.BuildActor(rng.New(100)))
+	s, err := New(a1, pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedWeek(t, s, 200)
+	p1, err := s.plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different HistLen must be rejected: the observation windows are sized
+	// for the original agent.
+	bad := rl.NetConfig{HistLen: 14, Filters: 8, Kernel: 4, Stride: 1, Hidden: 16}
+	if err := s.UpdateAgent(rl.NewAgent(bad, bad.BuildActor(rng.New(1)))); err == nil {
+		t.Fatal("UpdateAgent accepted a mismatched history window")
+	}
+	if err := s.UpdateAgent(nil); err == nil {
+		t.Fatal("UpdateAgent accepted nil")
+	}
+
+	// Swap in a differently-initialized agent; across 200 files with random
+	// weights some decision should differ, proving the new snapshot serves.
+	a2 := rl.NewAgent(cfg, cfg.BuildActor(rng.New(101)))
+	if err := s.UpdateAgent(a2); err != nil {
+		t.Fatal(err)
+	}
+	// Reset tiers drift: plan again twice — the first applies new decisions.
+	p2, err := s.plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for i := range p1.Files {
+		if p1.Files[i].Tier != p2.Files[i].Tier {
+			differs = true
+			break
+		}
+	}
+	if !differs && p2.Transition == 0 {
+		t.Log("note: swapped agent produced identical decisions (possible but unlikely)")
+	}
+	if got := s.stats().Replicas; got != 1 {
+		t.Fatalf("post-swap plan built %d replicas, want 1 (pool refreshed)", got)
+	}
+}

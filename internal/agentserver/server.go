@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"minicost/internal/mat"
 	"minicost/internal/mdp"
 	"minicost/internal/pricing"
 	"minicost/internal/rl"
@@ -68,6 +69,10 @@ type StatsResponse struct {
 	PlansServed  int64   `json:"plans_served"`
 	LastPlanMS   float64 `json:"last_plan_ms"`
 	HistLen      int     `json:"hist_len"`
+	// Replicas is how many network replicas the serving pool has built for
+	// the current agent snapshot — bounded by peak request concurrency, not
+	// by request volume.
+	Replicas int64 `json:"replicas"`
 }
 
 // fileState is the server-side record of one tracked file.
@@ -80,9 +85,16 @@ type fileState struct {
 
 // Server wraps an agent with observation state. Create with New, mount via
 // Handler.
+//
+// Serving uses a replica pool instead of one network per request: plan()
+// borrows a pooled replica, computes every decision with one batched
+// forward pass outside the state lock, and returns the replica — so
+// concurrent plan requests cost at most one network copy each at peak, and
+// repeated requests cost none. UpdateAgent refreshes the pool when a new
+// training snapshot lands.
 type Server struct {
 	mu      sync.Mutex
-	agent   *rl.Agent
+	pool    *rl.ReplicaPool
 	histLen int
 	initial pricing.Tier
 	files   map[string]*fileState
@@ -103,11 +115,26 @@ func New(agent *rl.Agent, initial pricing.Tier) (*Server, error) {
 		return nil, errors.New("agentserver: invalid initial tier")
 	}
 	return &Server{
-		agent:   agent.Clone(),
+		pool:    rl.NewReplicaPool(agent.Clone()),
 		histLen: agent.Net.HistLen,
 		initial: initial,
 		files:   make(map[string]*fileState),
 	}, nil
+}
+
+// UpdateAgent swaps in a fresh training snapshot. Pooled replicas of the
+// previous snapshot are invalidated; in-flight plans finish on the weights
+// they started with. The new agent must keep the history-window length the
+// observation state was built for.
+func (s *Server) UpdateAgent(agent *rl.Agent) error {
+	if agent == nil {
+		return errors.New("agentserver: nil agent")
+	}
+	if agent.Net.HistLen != s.histLen {
+		return fmt.Errorf("agentserver: snapshot hist window %d, server tracks %d", agent.Net.HistLen, s.histLen)
+	}
+	s.pool.Swap(agent.Clone())
+	return nil
 }
 
 // observe ingests one day's batch.
@@ -149,33 +176,59 @@ func appendWindow(w []float64, v float64, histLen int) []float64 {
 // plan produces the current assignment for every tracked file and commits
 // the decisions as the files' current tiers (the operator is assumed to
 // execute the plan, as System.Run does).
+//
+// The state lock is held only to snapshot observations and to commit the
+// decided tiers; the batched forward pass over all files — the expensive
+// part — runs on a pooled replica with the lock released, so observation
+// ingestion and other plan requests are never blocked behind inference.
 func (s *Server) plan() (*PlanResponse, error) {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.files) == 0 {
+		s.mu.Unlock()
 		return nil, errors.New("agentserver: no observations yet")
 	}
-	start := time.Now()
+	day := s.day
 	ids := make([]string, 0, len(s.files))
 	for id := range s.files {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	resp := &PlanResponse{Day: s.day, Files: make([]PlanEntry, 0, len(ids))}
-	for _, id := range ids {
+	states := make([]mdp.State, len(ids))
+	for i, id := range ids {
 		st := s.files[id]
-		state := mdp.State{
+		states[i] = mdp.State{
 			ReadHistory:  padWindow(st.reads, s.histLen),
 			WriteHistory: padWindow(st.writes, s.histLen),
 			SizeGB:       st.sizeGB,
 			Tier:         st.tier,
 		}
-		tier := s.agent.Decide(&state)
-		changed := tier != st.tier
+	}
+	s.mu.Unlock()
+
+	feats := mat.New(len(ids), mdp.FeatureDim(s.histLen))
+	for i := range states {
+		states[i].FeaturesInto(feats.Row(i))
+	}
+	tiers := make([]pricing.Tier, len(ids))
+	rep := s.pool.Get()
+	rep.DecideBatch(feats, tiers, 0)
+	s.pool.Put(rep)
+
+	resp := &PlanResponse{Day: day, Files: make([]PlanEntry, 0, len(ids))}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		tier := tiers[i]
+		changed := tier != states[i].Tier
 		if changed {
 			resp.Transition++
 		}
-		st.tier = tier
+		// Commit to files still tracked; a file observed away mid-plan just
+		// drops its entry's effect.
+		if st, ok := s.files[id]; ok {
+			st.tier = tier
+		}
 		resp.Files = append(resp.Files, PlanEntry{ID: id, Tier: tier.String(), Changed: changed})
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
@@ -212,6 +265,7 @@ func (s *Server) stats() *StatsResponse {
 		PlansServed:  s.plansServed,
 		LastPlanMS:   s.lastPlanMS,
 		HistLen:      s.histLen,
+		Replicas:     s.pool.Created(),
 	}
 }
 

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mat"
+	"minicost/internal/mdp"
+	"minicost/internal/policy"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+// TestBatchedInferenceEquivalentAcrossPaperWidths pins the batched engine to
+// the single-sample reference at every network width the paper sweeps
+// (Fig. 11): ForwardBatch must reproduce Forward bitwise and DecideBatch
+// must reproduce Decide exactly, on randomly initialised networks at the
+// paper's 14-day history window.
+func TestBatchedInferenceEquivalentAcrossPaperWidths(t *testing.T) {
+	const histLen = 14
+	const batch = 33
+	for wi, width := range PaperWidths {
+		cfg := rl.NetConfig{HistLen: histLen, Filters: width, Kernel: 4, Stride: 1, Hidden: width}
+		r := rng.New(uint64(1000 + wi))
+		net := cfg.BuildActor(r)
+		agent := rl.NewAgent(cfg, net)
+
+		states := make([]mdp.State, batch)
+		x := mat.New(batch, mdp.FeatureDim(histLen))
+		for i := range states {
+			states[i] = mdp.State{
+				ReadHistory:  make([]float64, histLen),
+				WriteHistory: make([]float64, histLen),
+				SizeGB:       0.01 + r.Float64()*10,
+				Tier:         pricing.Tier(r.Intn(pricing.NumTiers)),
+			}
+			for d := 0; d < histLen; d++ {
+				states[i].ReadHistory[d] = r.Float64() * 5000
+				states[i].WriteHistory[d] = r.Float64() * 500
+			}
+			states[i].FeaturesInto(x.Row(i))
+		}
+
+		// Bitwise forward equivalence.
+		yb := net.ForwardBatch(x, 0)
+		for i := range states {
+			single := net.Forward(x.Row(i))
+			row := yb.Row(i)
+			if len(single) != len(row) {
+				t.Fatalf("width %d: batch row width %d, single %d", width, len(row), len(single))
+			}
+			for j := range single {
+				if row[j] != single[j] {
+					t.Fatalf("width %d state %d logit %d: batched %v != single %v",
+						width, i, j, row[j], single[j])
+				}
+			}
+		}
+
+		// Decision equivalence.
+		tiers := make([]pricing.Tier, batch)
+		agent.DecideBatch(x, tiers, 0)
+		for i := range states {
+			if want := agent.Decide(&states[i]); tiers[i] != want {
+				t.Fatalf("width %d state %d: DecideBatch %v, Decide %v", width, i, tiers[i], want)
+			}
+		}
+	}
+}
+
+// TestRLAssignEquivalentAcrossPaperWidths replays a generated trace through
+// policy.RL at every paper width and asserts the batched rewrite's
+// assignment is identical to the preserved single-sample path for a fixed
+// seed — the before/after property of the engine swap.
+func TestRLAssignEquivalentAcrossPaperWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full width sweep is slow; covered at one width by internal/policy")
+	}
+	gen := trace.DefaultGenConfig()
+	gen.NumFiles = 40
+	gen.Days = 10
+	gen.Seed = 42
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := costmodel.New(pricing.Azure())
+	for wi, width := range PaperWidths {
+		cfg := rl.NetConfig{HistLen: 7, Filters: width, Kernel: 4, Stride: 1, Hidden: width}
+		agent := rl.NewAgent(cfg, cfg.BuildActor(rng.New(uint64(2000+wi))))
+		want, err := policy.RL{Agent: agent, SingleSample: true}.Assign(tr, m, pricing.Hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := policy.RL{Agent: agent, Workers: 3, BatchRows: 11}.Assign(tr, m, pricing.Hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for d := range want[i] {
+				if want[i][d] != got[i][d] {
+					t.Fatalf("width %d file %d day %d: batched %v, single-sample %v",
+						width, i, d, got[i][d], want[i][d])
+				}
+			}
+		}
+	}
+}

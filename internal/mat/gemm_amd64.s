@@ -1,0 +1,62 @@
+#include "textflag.h"
+
+// func dotPack16AVX(a, bp, acc []float64)
+//
+// acc[lane] += Σ_i a[i] · bp[i*16+lane] for lane in 0..15, with each lane's
+// accumulation strictly sequential in i — four 4-wide vector accumulators,
+// one output column per lane, VMULPD+VADDPD (never FMA, whose single
+// rounding would diverge from the scalar reference). len(bp) must be
+// 16*len(a) and len(acc) 16; the caller (mulPackBlock) guarantees both.
+TEXT ·dotPack16AVX(SB), NOSPLIT, $0-72
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ bp_base+24(FP), DX
+	MOVQ acc_base+48(FP), DI
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	TESTQ CX, CX
+	JZ   done
+
+loop:
+	VBROADCASTSD (SI), Y4
+	VMULPD (DX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(DX), Y4, Y6
+	VADDPD Y6, Y1, Y1
+	VMULPD 64(DX), Y4, Y7
+	VADDPD Y7, Y2, Y2
+	VMULPD 96(DX), Y4, Y8
+	VADDPD Y8, Y3, Y3
+	ADDQ $8, SI
+	ADDQ $128, DX
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

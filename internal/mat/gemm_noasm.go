@@ -1,0 +1,5 @@
+//go:build !amd64
+
+package mat
+
+func dotPack16(a, bp, acc []float64) { dotPack16Generic(a, bp, acc) }

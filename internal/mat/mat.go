@@ -12,8 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"minicost/internal/par"
 )
 
 // Matrix is a dense row-major matrix.
@@ -75,31 +73,7 @@ func (m *Matrix) T() *Matrix {
 
 // Mul returns a*b, parallelizing across rows of a when the product is large.
 // It panics on a shape mismatch.
-func Mul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	workers := 1
-	if a.Rows*a.Cols*b.Cols >= 1<<16 {
-		workers = 0 // default (GOMAXPROCS)
-	}
-	par.For(a.Rows, workers, func(r int) {
-		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
-		orow := out.Data[r*out.Cols : (r+1)*out.Cols]
-		// k-outer loop: stream through b row-by-row for cache locality.
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for c, bv := range brow {
-				orow[c] += av * bv
-			}
-		}
-	})
-	return out
-}
+func Mul(a, b *Matrix) *Matrix { return MulTo(nil, a, b, 0) }
 
 // MulVec returns a·x for a column vector x (len == a.Cols).
 func MulVec(a *Matrix, x []float64) []float64 {

@@ -1,0 +1,148 @@
+package mat
+
+import (
+	"fmt"
+
+	"minicost/internal/par"
+)
+
+// packLanes is the column-tile width of the packed GEMM kernel: one output
+// column per SIMD lane across four 4-wide vector accumulators (see
+// gemm_amd64.s). The generic fallback uses the same layout.
+const packLanes = 16
+
+// PackedTransB is a transposed-B operand (weights: row j holds output
+// column j's coefficients) re-laid-out for the packed kernel: columns are
+// grouped into tiles of packLanes and interleaved along k, so tile t stores
+// Data[t*K*packLanes + i*packLanes + lane] = B[t*packLanes+lane][i]. Lanes
+// past Cols are zero-padded, which lets every tile run the same kernel; the
+// padded outputs are simply not written back.
+//
+// Packing exists to make the per-k loads of one tile contiguous. It never
+// changes any element's accumulation order, so the exactness contract in
+// gemm.go is unaffected.
+type PackedTransB struct {
+	Cols int // logical output columns (B rows)
+	K    int // shared dimension (B cols)
+	Data []float64
+}
+
+// PackTransBTo packs b into dst, reusing dst's backing storage when large
+// enough (pass nil to allocate). The returned value must be used in place of
+// dst.
+func PackTransBTo(dst *PackedTransB, b *Matrix) *PackedTransB {
+	tiles := (b.Rows + packLanes - 1) / packLanes
+	need := tiles * b.Cols * packLanes
+	if dst == nil {
+		dst = &PackedTransB{}
+	}
+	if cap(dst.Data) >= need {
+		dst.Data = dst.Data[:need]
+	} else {
+		dst.Data = make([]float64, need)
+	}
+	dst.Cols, dst.K = b.Rows, b.Cols
+	k := b.Cols
+	for t := 0; t < tiles; t++ {
+		seg := dst.Data[t*k*packLanes : (t+1)*k*packLanes]
+		for lane := 0; lane < packLanes; lane++ {
+			j := t*packLanes + lane
+			if j >= b.Rows {
+				for i := 0; i < k; i++ {
+					seg[i*packLanes+lane] = 0
+				}
+				continue
+			}
+			brow := b.Data[j*k : (j+1)*k]
+			for i, v := range brow {
+				seg[i*packLanes+lane] = v
+			}
+		}
+	}
+	return dst
+}
+
+// MulPackTransBBiasTo is the packed-operand version of MulTransBBiasTo:
+// dst[r][c] = bias[c] + Σ_k a[r][k]·B[c][k] with B pre-packed by
+// PackTransBTo. It is the hot path of the batched inference engine — on
+// amd64 with AVX the inner kernel runs one output column per vector lane —
+// and is bitwise identical to MulTransBBiasTo and to the single-sample
+// loops (each element's accumulation is still bias-seeded and k-sequential;
+// see gemm.go).
+func MulPackTransBBiasTo(dst, a *Matrix, pb *PackedTransB, bias []float64, workers int) *Matrix {
+	if a.Cols != pb.K {
+		panic(fmt.Sprintf("mat: MulPackTransB shape mismatch %dx%d · packed(%dx%d)ᵀ", a.Rows, a.Cols, pb.Cols, pb.K))
+	}
+	if bias != nil && len(bias) != pb.Cols {
+		panic(fmt.Sprintf("mat: MulPackTransB bias len %d, want %d", len(bias), pb.Cols))
+	}
+	dst = EnsureShape(dst, a.Rows, pb.Cols)
+	if workers == 1 || a.Rows*a.Cols*pb.Cols < gemmParallelFlops {
+		mulPackBlock(dst, a, pb, bias, 0, a.Rows)
+		return dst
+	}
+	par.ForBatched(a.Rows, gemmRowTile, workers, func(lo, hi int) {
+		mulPackBlock(dst, a, pb, bias, lo, hi)
+	})
+	return dst
+}
+
+// mulPackBlock fills output rows [lo, hi) from the packed operand. The
+// column tile is the outer loop so one packed tile (16·K floats) stays
+// cache-resident while the A rows stream past it — row-outer order would
+// re-stream the whole packed operand from memory once per row. Full tiles
+// accumulate directly in the destination row (seeded with the bias); the
+// ragged last tile uses per-lane scalar dots written straight into dst (a
+// scratch array would escape through the asm call and break the
+// allocation-free steady state). Every element stays k-sequential.
+func mulPackBlock(dst, a *Matrix, pb *PackedTransB, bias []float64, lo, hi int) {
+	n, k := pb.Cols, pb.K
+	full := n / packLanes * packLanes
+	for j := 0; j < full; j += packLanes {
+		seg := pb.Data[j*k : (j+packLanes)*k]
+		for r := lo; r < hi; r++ {
+			arow := a.Data[r*k : (r+1)*k]
+			acc := dst.Data[r*n+j : r*n+j+packLanes]
+			if bias != nil {
+				copy(acc, bias[j:j+packLanes])
+			} else {
+				for i := range acc {
+					acc[i] = 0
+				}
+			}
+			dotPack16(arow, seg, acc)
+		}
+	}
+	if full < n {
+		seg := pb.Data[full*k:]
+		for r := lo; r < hi; r++ {
+			arow := a.Data[r*k : (r+1)*k]
+			drow := dst.Data[r*n : (r+1)*n]
+			for lane := 0; full+lane < n; lane++ {
+				s := 0.0
+				if bias != nil {
+					s = bias[full+lane]
+				}
+				for i, v := range arow {
+					s += v * seg[i*packLanes+lane]
+				}
+				drow[full+lane] = s
+			}
+		}
+	}
+}
+
+// dotPack16Generic is the portable kernel: acc[lane] += Σ_i a[i]·bp[i*16+lane],
+// each lane sequential in i. It backs dotPack16 on non-amd64 builds and on
+// amd64 CPUs without AVX.
+func dotPack16Generic(a, bp, acc []float64) {
+	var s [packLanes]float64
+	copy(s[:], acc)
+	for i, v := range a {
+		t := bp[i*packLanes : i*packLanes+packLanes]
+		for j := range s {
+			s[j] += v * t[j]
+		}
+	}
+	copy(acc, s[:])
+}

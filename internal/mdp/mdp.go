@@ -50,8 +50,23 @@ func HistoryFeatureDim(histLen int) int { return 2 * histLen }
 // present identical histories (all ≈ 1 after mean-normalisation) and the
 // policy cannot separate them.
 func (s *State) Features() []float64 {
+	out := make([]float64, FeatureDim(len(s.ReadHistory)))
+	s.FeaturesInto(out)
+	return out
+}
+
+// FeaturesInto encodes the state into dst, which must have length
+// FeatureDim(len(s.ReadHistory)). It performs no allocation — the batched
+// inference path uses it to pack feature rows directly into a batch matrix.
+func (s *State) FeaturesInto(dst []float64) {
 	h := len(s.ReadHistory)
-	out := make([]float64, FeatureDim(h))
+	if len(dst) != FeatureDim(h) {
+		panic(fmt.Sprintf("mdp: FeaturesInto dst len %d, want %d", len(dst), FeatureDim(h)))
+	}
+	out := dst
+	for i := range out {
+		out[i] = 0
+	}
 	mean := 0.0
 	for _, v := range s.ReadHistory {
 		mean += v
@@ -78,7 +93,6 @@ func (s *State) Features() []float64 {
 	out[2*h+1] = ratio
 	out[2*h+2] = math.Min(s.SizeGB, 4)
 	out[2*h+3+int(s.Tier)] = 1
-	return out
 }
 
 // RewardConfig holds Eq. 4's manually-set parameters α and Δ, plus a cost

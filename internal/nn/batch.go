@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"fmt"
+
+	"minicost/internal/mat"
+)
+
+// Batched inference: ForwardBatch runs a whole batch of samples (one per
+// matrix row) through a layer with one GEMM per parameterized layer, instead
+// of len(batch) single-sample passes. It is the serving-side fast path —
+// training stays on the single-sample Forward/Backward, which doubles as the
+// reference implementation the equivalence tests compare against.
+//
+// Exactness: every kernel accumulates each output element in the same
+// floating-point order as the single-sample Forward (bias seed, then the
+// shared dimension in index order — see mat's GEMM contract), so batched
+// outputs are bitwise identical to per-sample outputs. Downstream argmax
+// tier decisions therefore match exactly, not just approximately.
+//
+// Buffer ownership mirrors Forward: the returned matrix is owned by the
+// layer and overwritten by its next ForwardBatch call. Scratch buffers grow
+// to the largest batch seen and are reused, so steady-state batched
+// inference performs no allocations.
+//
+// workers bounds the intra-GEMM parallel fan-out: pass 1 (serial) when the
+// caller already parallelizes across batches — e.g. the chunked stepper in
+// policy.RL — and <= 0 for the default when a single large batch should use
+// every core, e.g. the agent server planning all tracked files at once.
+
+// ForwardBatch implements the batched pass for Dense: Y = X·Wᵀ + b, one
+// fused GEMM over the whole batch. The weights are repacked into the SIMD
+// kernel's tile layout on every call (a small, allocation-free fraction of
+// the GEMM cost), so weight mutations between calls are always picked up.
+func (d *Dense) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense batch input %d, want %d", x.Cols, d.In))
+	}
+	if d.wView == nil {
+		d.wView = &mat.Matrix{Rows: d.Out, Cols: d.In}
+	}
+	d.wView.Data = d.w.Value
+	d.wpack = mat.PackTransBTo(d.wpack, d.wView)
+	d.by = mat.MulPackTransBBiasTo(d.by, x, d.wpack, d.b.Value, workers)
+	return d.by
+}
+
+// ForwardBatch implements the batched pass for Conv1D via im2col + GEMM:
+// every (sample, output position) pair becomes one row of the column
+// matrix, a single GEMM against the filter bank computes all responses, and
+// a strided copy restores the layer's channel-major output layout.
+func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
+	if x.Cols != c.InLen {
+		panic(fmt.Sprintf("nn: Conv1D batch input %d, want %d", x.Cols, c.InLen))
+	}
+	ol := c.outLen()
+	c.col = mat.EnsureShape(c.col, x.Rows*ol, c.Kernel)
+	for r := 0; r < x.Rows; r++ {
+		xrow := x.Row(r)
+		base := r * ol * c.Kernel
+		for t := 0; t < ol; t++ {
+			copy(c.col.Data[base+t*c.Kernel:base+(t+1)*c.Kernel], xrow[t*c.Stride:t*c.Stride+c.Kernel])
+		}
+	}
+	if c.wView == nil {
+		c.wView = &mat.Matrix{Rows: c.Filters, Cols: c.Kernel}
+	}
+	c.wView.Data = c.w.Value
+	c.wpack = mat.PackTransBTo(c.wpack, c.wView)
+	c.gemm = mat.MulPackTransBBiasTo(c.gemm, c.col, c.wpack, c.b.Value, workers)
+	c.by = mat.EnsureShape(c.by, x.Rows, c.Filters*ol)
+	for r := 0; r < x.Rows; r++ {
+		yrow := c.by.Row(r)
+		for t := 0; t < ol; t++ {
+			grow := c.gemm.Row(r*ol + t)
+			for f, v := range grow {
+				yrow[f*ol+t] = v
+			}
+		}
+	}
+	return c.by
+}
+
+// ForwardBatch implements the batched pass for ReLU (elementwise, no mask:
+// inference never backpropagates).
+func (r *ReLU) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
+	r.by = mat.EnsureShape(r.by, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			r.by.Data[i] = v
+		} else {
+			r.by.Data[i] = 0
+		}
+	}
+	return r.by
+}
+
+// ForwardBatch implements the batched pass for Split: the head columns are
+// packed contiguously for the inner network, and its output is concatenated
+// with the untouched tail columns.
+func (s *Split) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
+	if x.Cols < s.Head {
+		panic("nn: Split batch input shorter than head")
+	}
+	s.bhead = mat.EnsureShape(s.bhead, x.Rows, s.Head)
+	for r := 0; r < x.Rows; r++ {
+		copy(s.bhead.Row(r), x.Row(r)[:s.Head])
+	}
+	inner := s.Inner.ForwardBatch(s.bhead, workers)
+	tail := x.Cols - s.Head
+	s.by = mat.EnsureShape(s.by, x.Rows, inner.Cols+tail)
+	for r := 0; r < x.Rows; r++ {
+		yrow := s.by.Row(r)
+		copy(yrow, inner.Row(r))
+		copy(yrow[inner.Cols:], x.Row(r)[s.Head:])
+	}
+	return s.by
+}
+
+// ForwardBatch runs the stack on a batch of samples (one per row). The
+// result is owned by the network's last layer and overwritten by the next
+// call; see the file comment for the workers convention.
+func (n *Network) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
+	for _, l := range n.layers {
+		x = l.ForwardBatch(x, workers)
+	}
+	return x
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"minicost/internal/mat"
 	"minicost/internal/rng"
 )
 
@@ -26,12 +27,17 @@ type Param struct {
 // needs; Backward consumes the gradient w.r.t. its output, accumulates
 // parameter gradients, and returns the gradient w.r.t. its input.
 //
-// Buffer ownership: the slices Forward and Backward return are owned by the
-// layer and overwritten by its next Forward/Backward call — copy them if
-// they must outlive that. This keeps the single-sample training loop
-// allocation-free, which the A3C workers depend on.
+// Buffer ownership: the slices Forward and Backward return — and the matrix
+// ForwardBatch returns — are owned by the layer and overwritten by its next
+// call of the same method; copy them if they must outlive that. This keeps
+// both the single-sample training loop and steady-state batched inference
+// allocation-free, which the A3C workers and the serving path depend on.
+//
+// ForwardBatch (batch.go) is inference-only: it caches nothing for Backward
+// and must produce outputs bitwise identical to row-by-row Forward calls.
 type Layer interface {
 	Forward(x []float64) []float64
+	ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix
 	Backward(dy []float64) []float64
 	Params() []*Param
 	OutDim(inDim int) int
@@ -44,6 +50,10 @@ type Dense struct {
 	w, b    Param
 	x       []float64 // cached input
 	y, dx   []float64 // reused output/input-gradient buffers
+
+	by    *mat.Matrix       // reused batched output
+	wView *mat.Matrix       // lazily built view of w.Value as an Out×In matrix
+	wpack *mat.PackedTransB // reused kernel-layout copy of the weights
 }
 
 // NewDense constructs a Dense layer with Xavier/Glorot uniform init.
@@ -128,6 +138,10 @@ type Conv1D struct {
 	w, b                           Param // w[f*Kernel+k], b[f]
 	x                              []float64
 	y, dx                          []float64 // reused buffers
+
+	col, gemm, by *mat.Matrix       // reused im2col / GEMM / batched-output buffers
+	wView         *mat.Matrix       // lazily built view of w.Value as Filters×Kernel
+	wpack         *mat.PackedTransB // reused kernel-layout copy of the filter bank
 }
 
 // NewConv1D constructs the layer; the paper's setting is Filters=128,
@@ -223,7 +237,8 @@ func (c *Conv1D) clone() Layer {
 // ReLU is max(0, x).
 type ReLU struct {
 	mask  []bool
-	y, dx []float64 // reused buffers
+	y, dx []float64   // reused buffers
+	by    *mat.Matrix // reused batched output
 }
 
 // NewReLU returns a ReLU activation.
@@ -278,9 +293,10 @@ func (r *ReLU) clone() Layer { return &ReLU{} }
 // features (size, tier one-hot, write stats) bypass it — the paper's
 // "results from these layers are then aggregated with other inputs".
 type Split struct {
-	Head  int
-	Inner *Network
-	y, dx []float64 // reused buffers
+	Head      int
+	Inner     *Network
+	y, dx     []float64   // reused buffers
+	bhead, by *mat.Matrix // reused batched head/output buffers
 }
 
 // NewSplit wraps inner over the first head inputs.

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// coverBatched runs ForBatched and records, per index, how often it was
+// visited and whether its chunk was well-formed.
+func coverBatched(t *testing.T, n, batch, workers int) []int {
+	t.Helper()
+	visits := make([]int, n)
+	var mu sync.Mutex
+	ForBatched(n, batch, workers, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("ForBatched(n=%d batch=%d): bad chunk [%d,%d)", n, batch, lo, hi)
+			return
+		}
+		if hi-lo > batch {
+			t.Errorf("ForBatched(n=%d batch=%d): oversized chunk [%d,%d)", n, batch, lo, hi)
+		}
+		if lo%batch != 0 {
+			t.Errorf("ForBatched(n=%d batch=%d): chunk not aligned at %d", n, batch, lo)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			visits[i]++
+		}
+		mu.Unlock()
+	})
+	return visits
+}
+
+func TestForBatchedExactCoverage(t *testing.T) {
+	cases := []struct{ n, batch, workers int }{
+		{1, 1, 1},
+		{1, 7, 4},
+		{7, 3, 2},   // ragged final chunk
+		{64, 64, 8}, // single full chunk
+		{65, 64, 8}, // one full chunk + a 1-item tail
+		{1000, 17, 0},
+		{128, 1, 4}, // chunk per item
+		{300, 256, 3},
+	}
+	for _, c := range cases {
+		visits := coverBatched(t, c.n, c.batch, c.workers)
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("ForBatched(n=%d batch=%d workers=%d): index %d visited %d times",
+					c.n, c.batch, c.workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForBatchedDegenerate(t *testing.T) {
+	calls := 0
+	ForBatched(0, 8, 4, func(lo, hi int) { calls++ })
+	ForBatched(-3, 8, 4, func(lo, hi int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("ForBatched on empty range called fn %d times", calls)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForBatched with batch<=0 did not panic")
+		}
+	}()
+	ForBatched(4, 0, 1, func(lo, hi int) {})
+}
+
+func TestForBatchedSerialIsOrdered(t *testing.T) {
+	// With workers=1 chunks must arrive in index order (the serial fallback).
+	var chunks [][2]int
+	ForBatched(10, 4, 1, func(lo, hi int) { chunks = append(chunks, [2]int{lo, hi}) })
+	want := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	if len(chunks) != len(want) {
+		t.Fatalf("got %v want %v", chunks, want)
+	}
+	for i := range want {
+		if chunks[i] != want[i] {
+			t.Fatalf("got %v want %v", chunks, want)
+		}
+	}
+}

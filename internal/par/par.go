@@ -104,6 +104,64 @@ func ForChunked(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ForBatched runs fn(lo, hi) over contiguous half-open chunks [lo, hi) of at
+// most batch items that partition [0, n), using at most workers goroutines.
+// Chunks are handed out dynamically (atomic counter over chunk indices), so
+// uneven per-chunk work still balances, but — unlike For — every call of fn
+// sees a stable contiguous index range. Batched steppers rely on this: they
+// pack per-item state for [lo, hi) into one matrix, so the chunk must be a
+// contiguous slice of the index space, never an arbitrary subset.
+//
+// workers <= 0 selects DefaultWorkers(); batch <= 0 panics. It blocks until
+// every chunk completes.
+func ForBatched(n, batch, workers int, fn func(lo, hi int)) {
+	if batch <= 0 {
+		panic("par: ForBatched batch must be positive")
+	}
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	chunks := (n + batch - 1) / batch
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers == 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * batch
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * batch
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // MapReduce computes a reduction over [0, n): each index i produces
 // mapFn(i), chunk-local partials are combined with combine, and the final
 // value folds every chunk partial into init (in unspecified chunk order, so

@@ -8,6 +8,7 @@ package rl
 import (
 	"fmt"
 
+	"minicost/internal/mat"
 	"minicost/internal/mdp"
 	"minicost/internal/nn"
 	"minicost/internal/pricing"
@@ -66,11 +67,15 @@ func (c NetConfig) BuildActor(r *rng.RNG) *nn.Network { return c.build(r, mdp.Nu
 func (c NetConfig) BuildCritic(r *rng.RNG) *nn.Network { return c.build(r, 1) }
 
 // Agent is a trained (or training-snapshot) policy usable for serving: it
-// maps a state to a tier. Decide is *not* safe for concurrent use (the
-// network caches activations); Clone per goroutine.
+// maps a state to a tier. Neither Decide nor DecideBatch is safe for
+// concurrent use (the network caches activations and the agent holds batch
+// scratch); use a ReplicaPool (or Clone) per goroutine.
 type Agent struct {
 	Net   NetConfig
 	actor *nn.Network
+
+	feats *mat.Matrix    // reused batch feature matrix (DecideTrace)
+	tiers []pricing.Tier // reused batch decision buffer
 }
 
 // NewAgent wraps an actor network.

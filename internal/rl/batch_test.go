@@ -1,0 +1,165 @@
+package rl
+
+import (
+	"sync"
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mat"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+	"minicost/internal/trace"
+)
+
+func testNetConfig() NetConfig {
+	return NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32}
+}
+
+func randomState(r *rng.RNG, histLen int) mdp.State {
+	s := mdp.State{
+		ReadHistory:  make([]float64, histLen),
+		WriteHistory: make([]float64, histLen),
+		SizeGB:       0.01 + r.Float64(),
+		Tier:         pricing.Tier(r.Intn(pricing.NumTiers)),
+	}
+	for i := range s.ReadHistory {
+		s.ReadHistory[i] = r.Float64() * 1000
+		s.WriteHistory[i] = r.Float64() * 100
+	}
+	return s
+}
+
+func TestDecideBatchMatchesDecide(t *testing.T) {
+	cfg := testNetConfig()
+	r := rng.New(11)
+	agent := NewAgent(cfg, cfg.BuildActor(r))
+	const batch = 97
+	states := make([]mdp.State, batch)
+	x := mat.New(batch, mdp.FeatureDim(cfg.HistLen))
+	for i := range states {
+		states[i] = randomState(r, cfg.HistLen)
+		states[i].FeaturesInto(x.Row(i))
+	}
+	got := make([]pricing.Tier, batch)
+	agent.DecideBatch(x, got, 1)
+	for i := range states {
+		if want := agent.Decide(&states[i]); got[i] != want {
+			t.Fatalf("state %d: DecideBatch %v, Decide %v", i, got[i], want)
+		}
+	}
+}
+
+func TestDecideBatchSteadyStateAllocFree(t *testing.T) {
+	cfg := testNetConfig()
+	r := rng.New(12)
+	agent := NewAgent(cfg, cfg.BuildActor(r))
+	x := mat.New(64, mdp.FeatureDim(cfg.HistLen))
+	for i := 0; i < x.Rows; i++ {
+		s := randomState(r, cfg.HistLen)
+		s.FeaturesInto(x.Row(i))
+	}
+	out := make([]pricing.Tier, x.Rows)
+	agent.DecideBatch(x, out, 1) // warm scratch
+	allocs := testing.AllocsPerRun(10, func() { agent.DecideBatch(x, out, 1) })
+	if allocs != 0 {
+		t.Fatalf("steady-state DecideBatch allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+func TestDecideTraceMatchesPerFileLoop(t *testing.T) {
+	cfg := testNetConfig()
+	r := rng.New(13)
+	agent := NewAgent(cfg, cfg.BuildActor(r))
+	gen := trace.DefaultGenConfig()
+	gen.NumFiles = 23
+	gen.Days = 12
+	gen.Seed = 5
+	tr, err := trace.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.New(pricing.Azure())
+	reward := mdp.DefaultReward()
+
+	asg := make(costmodel.Assignment, tr.NumFiles())
+	if err := agent.DecideTrace(model, tr, 0, tr.NumFiles(), pricing.Hot, cfg.HistLen, reward, asg, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the single-sample per-file loop.
+	single := agent.Clone()
+	for i := 0; i < tr.NumFiles(); i++ {
+		env, err := mdp.NewEnv(model, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], pricing.Hot, cfg.HistLen, reward)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := env.Reset()
+		for d := 0; d < tr.Days; d++ {
+			tier := single.Decide(&state)
+			if asg[i][d] != tier {
+				t.Fatalf("file %d day %d: batched %v, single-sample %v", i, d, asg[i][d], tier)
+			}
+			next, _, _, _, err := env.Step(tier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			state = next
+		}
+	}
+}
+
+func TestReplicaPoolReuseAndSwap(t *testing.T) {
+	cfg := testNetConfig()
+	agent := NewAgent(cfg, cfg.BuildActor(rng.New(14)))
+	pool := NewReplicaPool(agent)
+
+	r1 := pool.Get()
+	pool.Put(r1)
+	r2 := pool.Get()
+	if r1 != r2 {
+		t.Fatal("pool did not reuse the returned replica")
+	}
+	if pool.Created() != 1 {
+		t.Fatalf("Created = %d, want 1", pool.Created())
+	}
+
+	// A swap must invalidate outstanding and pooled replicas.
+	next := NewAgent(cfg, cfg.BuildActor(rng.New(15)))
+	pool.Swap(next)
+	pool.Put(r2) // stale: must be dropped
+	r3 := pool.Get()
+	if r3 == r2 {
+		t.Fatal("pool handed back a stale replica after Swap")
+	}
+	if pool.Created() != 1 {
+		t.Fatalf("Created after swap = %d, want 1", pool.Created())
+	}
+
+	// Replica decisions must match the new source, not the old one.
+	s := randomState(rng.New(16), cfg.HistLen)
+	if got, want := r3.Decide(&s), next.Decide(&s); got != want {
+		t.Fatalf("replica decided %v, fresh source %v", got, want)
+	}
+}
+
+func TestReplicaPoolBoundedByConcurrency(t *testing.T) {
+	cfg := testNetConfig()
+	agent := NewAgent(cfg, cfg.BuildActor(rng.New(17)))
+	pool := NewReplicaPool(agent)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rep := pool.Get()
+				pool.Put(rep)
+			}
+		}()
+	}
+	wg.Wait()
+	if c := pool.Created(); c > workers {
+		t.Fatalf("pool created %d replicas for %d concurrent workers", c, workers)
+	}
+}

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"minicost/internal/costmodel"
@@ -22,15 +23,16 @@ func TestA3CSurvivesExhaustedEnvs(t *testing.T) {
 	}
 	reads := []float64{10, 20, 30, 40, 50, 60, 70, 80}
 	writes := make([]float64, len(reads))
-	calls := 0
+	// The factory is called concurrently by the async workers, so the call
+	// counter must be atomic.
+	var calls atomic.Int64
 	factory := func(r *rng.RNG) *mdp.Env {
 		env, err := mdp.NewEnv(model, 0.1, reads, writes, pricing.Hot, 7, mdp.DefaultReward())
 		if err != nil {
 			t.Error(err)
 			return nil
 		}
-		calls++
-		if calls%3 == 0 {
+		if calls.Add(1)%3 == 0 {
 			// Exhaust the episode before handing it over.
 			for d := 0; d < len(reads); d++ {
 				if _, _, _, _, err := env.Step(pricing.Hot); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"minicost/internal/costmodel"
 	"minicost/internal/mdp"
+	"minicost/internal/par"
 	"minicost/internal/pricing"
 	"minicost/internal/rng"
 	"minicost/internal/trace"
@@ -36,28 +37,26 @@ func TraceFactory(model *costmodel.Model, tr *trace.Trace, histLen int, reward m
 
 // EvaluateAgent runs the greedy policy over every file in the trace and
 // returns the total bill — the serving-side counterpart of training, used by
-// experiments and tests to score a snapshot.
+// experiments and tests to score a snapshot. It steps files day-major in
+// batched chunks (Agent.DecideTrace) with a pooled replica per worker, which
+// is what keeps per-checkpoint validation affordable during training.
 func EvaluateAgent(agent *Agent, model *costmodel.Model, tr *trace.Trace, histLen int, initial pricing.Tier) (costmodel.Breakdown, costmodel.Assignment, error) {
-	asg := make(costmodel.Assignment, tr.NumFiles())
+	n := tr.NumFiles()
+	asg := make(costmodel.Assignment, n)
 	reward := mdp.DefaultReward()
-	local := agent.Clone()
-	for i := 0; i < tr.NumFiles(); i++ {
-		env, err := mdp.NewEnv(model, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, histLen, reward)
+	pool := NewReplicaPool(agent)
+	chunkErrs := make([]error, (n+DefaultBatchRows-1)/DefaultBatchRows)
+	par.ForBatched(n, DefaultBatchRows, 0, func(lo, hi int) {
+		rep := pool.Get()
+		defer pool.Put(rep)
+		if err := rep.DecideTrace(model, tr, lo, hi, initial, histLen, reward, asg, 1); err != nil {
+			chunkErrs[lo/DefaultBatchRows] = err
+		}
+	})
+	for _, err := range chunkErrs {
 		if err != nil {
 			return costmodel.Breakdown{}, nil, err
 		}
-		plan := make(costmodel.Plan, tr.Days)
-		state := env.Reset()
-		for d := 0; d < tr.Days; d++ {
-			tier := local.Decide(&state)
-			next, _, _, _, err := env.Step(tier)
-			if err != nil {
-				return costmodel.Breakdown{}, nil, err
-			}
-			plan[d] = tier
-			state = next
-		}
-		asg[i] = plan
 	}
 	init := make([]pricing.Tier, tr.NumFiles())
 	for i := range init {
