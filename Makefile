@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-inference
+.PHONY: build test check bench-inference bench-training
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,8 @@ check:
 # engine at the paper and Quick configs).
 bench-inference:
 	$(GO) run ./cmd/bench
+
+# bench-training regenerates BENCH_training.json (single-sample vs batched
+# A3C training engine at the paper and Quick configs, one worker).
+bench-training:
+	$(GO) run ./cmd/bench -mode training -o BENCH_training.json

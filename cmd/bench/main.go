@@ -1,14 +1,23 @@
-// Command bench measures the inference engine and emits BENCH_inference.json
-// so the perf trajectory is tracked from run to run: the single-sample
-// reference path versus the batched GEMM engine behind policy.RL, at the
-// paper's network configuration and at the Quick test configuration (the
-// same workloads as BenchmarkInferenceSingle/BenchmarkInferenceBatched).
+// Command bench measures the batched engines against their single-sample
+// reference paths and emits JSON so the perf trajectory is tracked from run
+// to run:
+//
+//   - mode "inference" (BENCH_inference.json): policy.RL serving throughput,
+//     single-sample versus the batched GEMM engine, at the paper's network
+//     configuration and the Quick test configuration.
+//   - mode "training" (BENCH_training.json): A3C training steps/sec,
+//     per-sample updates with mutex pulls versus the batched training engine
+//     with snapshot pulls, at the same configurations (paper: 128 filters,
+//     NSteps 7).
 //
 // Usage:
 //
-//	bench                      # all configs, writes BENCH_inference.json
-//	bench -o results.json      # alternate output path
-//	bench -files 1024 -days 28 # heavier workload
+//	bench                        # inference mode, writes BENCH_inference.json
+//	bench -mode training         # writes BENCH_training.json
+//	bench -mode all              # both files
+//	bench -o results.json        # alternate output path (single mode only)
+//	bench -files 1024 -days 28   # heavier inference workload
+//	bench -cpuprofile cpu.pprof  # profile the benchmarked paths
 package main
 
 import (
@@ -20,8 +29,10 @@ import (
 	"time"
 
 	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
 	"minicost/internal/policy"
 	"minicost/internal/pricing"
+	"minicost/internal/prof"
 	"minicost/internal/rl"
 	"minicost/internal/rng"
 	"minicost/internal/trace"
@@ -43,35 +54,94 @@ type result struct {
 	SpeedupVs1 float64 `json:"speedup_vs_single,omitempty"`
 }
 
+// trainResult is one (config, engine) training measurement.
+type trainResult struct {
+	Config      string  `json:"config"`
+	HistLen     int     `json:"hist_len"`
+	Filters     int     `json:"filters"`
+	Hidden      int     `json:"hidden"`
+	NSteps      int     `json:"n_steps"`
+	Workers     int     `json:"workers"`
+	Engine      string  `json:"engine"` // "single" or "batched"
+	Rounds      int     `json:"rounds"`
+	Steps       int64   `json:"steps"`
+	StepsPerSec float64 `json:"steps_per_second"`
+	TotalMS     float64 `json:"total_ms"`
+	SpeedupVs1  float64 `json:"speedup_vs_single,omitempty"`
+}
+
 type report struct {
-	Benchmark string   `json:"benchmark"`
-	GoMaxProc int      `json:"gomaxprocs"`
-	Results   []result `json:"results"`
+	Benchmark string        `json:"benchmark"`
+	GoMaxProc int           `json:"gomaxprocs"`
+	Results   []result      `json:"results,omitempty"`
+	Training  []trainResult `json:"training,omitempty"`
+}
+
+// benchConfigs are the shared network shapes: the paper's architecture and
+// the Quick test configuration.
+var benchConfigs = []struct {
+	name string
+	net  rl.NetConfig
+}{
+	{"paper128", rl.NetConfig{HistLen: 14, Filters: 128, Kernel: 4, Stride: 1, Hidden: 128}},
+	{"quick16", rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32}},
 }
 
 func main() {
 	var (
-		out    = flag.String("o", "BENCH_inference.json", "output JSON path")
-		files  = flag.Int("files", 512, "files in the bench trace")
-		days   = flag.Int("days", 14, "trace days")
-		rounds = flag.Int("rounds", 3, "timed rounds per measurement (best is kept)")
+		mode       = flag.String("mode", "inference", `"inference", "training" or "all"`)
+		out        = flag.String("o", "", "output JSON path (default BENCH_<mode>.json; single mode only)")
+		files      = flag.Int("files", 512, "files in the inference bench trace")
+		days       = flag.Int("days", 14, "trace days")
+		rounds     = flag.Int("rounds", 3, "timed rounds per measurement (best is kept)")
+		trainSteps = flag.Int64("train-steps", 1024, "environment steps per training round")
+		workers    = flag.Int("workers", 1, "A3C workers in the training bench")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
-	configs := []struct {
-		name string
-		net  rl.NetConfig
-	}{
-		{"paper128", rl.NetConfig{HistLen: 14, Filters: 128, Kernel: 4, Stride: 1, Hidden: 128}},
-		{"quick16", rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32}},
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
 	}
 
+	runInference := *mode == "inference" || *mode == "all"
+	runTraining := *mode == "training" || *mode == "all"
+	if !runInference && !runTraining {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if *out != "" && *mode == "all" {
+		fatal(fmt.Errorf("-o is ambiguous with -mode all"))
+	}
+
+	if runInference {
+		path := *out
+		if path == "" {
+			path = "BENCH_inference.json"
+		}
+		writeReport(path, benchInference(*files, *days, *rounds))
+	}
+	if runTraining {
+		path := *out
+		if path == "" {
+			path = "BENCH_training.json"
+		}
+		writeReport(path, benchTraining(*trainSteps, *workers, *rounds))
+	}
+
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+func benchInference(files, days, rounds int) report {
 	rep := report{Benchmark: "inference", GoMaxProc: runtime.GOMAXPROCS(0)}
-	for _, cfg := range configs {
+	for _, cfg := range benchConfigs {
 		agent := rl.NewAgent(cfg.net, cfg.net.BuildActor(rng.New(7)))
 		gen := trace.DefaultGenConfig()
-		gen.NumFiles = *files
-		gen.Days = *days
+		gen.NumFiles = files
+		gen.Days = days
 		gen.Seed = 7
 		tr, err := trace.Generate(gen)
 		if err != nil {
@@ -80,8 +150,8 @@ func main() {
 		m := costmodel.New(pricing.Azure())
 		decisions := float64(tr.NumFiles() * tr.Days)
 
-		single := measure(policy.RL{Agent: agent, SingleSample: true}, tr, m, *rounds)
-		batched := measure(policy.RL{Agent: agent}, tr, m, *rounds)
+		single := measure(policy.RL{Agent: agent, SingleSample: true}, tr, m, rounds)
+		batched := measure(policy.RL{Agent: agent}, tr, m, rounds)
 
 		for _, r := range []struct {
 			engine string
@@ -90,7 +160,7 @@ func main() {
 			res := result{
 				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
 				Hidden: cfg.net.Hidden, Files: tr.NumFiles(), Days: tr.Days,
-				Engine: r.engine, Rounds: *rounds,
+				Engine: r.engine, Rounds: rounds,
 				NsPerDec:  float64(r.best.Nanoseconds()) / decisions,
 				DecPerSec: decisions / r.best.Seconds(),
 				TotalMS:   float64(r.best.Microseconds()) / 1000,
@@ -106,20 +176,50 @@ func main() {
 			fmt.Println()
 		}
 	}
+	return rep
+}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
+func benchTraining(steps int64, workers, rounds int) report {
+	rep := report{Benchmark: "training", GoMaxProc: runtime.GOMAXPROCS(0)}
+	for _, cfg := range benchConfigs {
+		// The training workload mirrors the rl bench tests: a small polar
+		// trace keeps env stepping cheap so network passes dominate.
+		gen := trace.DefaultGenConfig()
+		gen.NumFiles = 16
+		gen.Days = 14
+		gen.Seed = 7
+		tr, err := trace.Generate(gen)
+		if err != nil {
+			fatal(err)
+		}
+		m := costmodel.New(pricing.Azure())
+
+		single := measureTraining(cfg.net, tr, m, true, steps, workers, rounds)
+		batched := measureTraining(cfg.net, tr, m, false, steps, workers, rounds)
+
+		for _, r := range []struct {
+			engine string
+			best   time.Duration
+		}{{"single", single}, {"batched", batched}} {
+			res := trainResult{
+				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
+				Hidden: cfg.net.Hidden, NSteps: rl.DefaultA3CConfig().NSteps,
+				Workers: workers, Engine: r.engine, Rounds: rounds, Steps: steps,
+				StepsPerSec: float64(steps) / r.best.Seconds(),
+				TotalMS:     float64(r.best.Microseconds()) / 1000,
+			}
+			if r.engine == "batched" {
+				res.SpeedupVs1 = single.Seconds() / r.best.Seconds()
+			}
+			rep.Training = append(rep.Training, res)
+			fmt.Printf("%-9s %-8s %12.0f steps/s", cfg.name, r.engine, res.StepsPerSec)
+			if res.SpeedupVs1 > 0 {
+				fmt.Printf("  %.2fx vs single", res.SpeedupVs1)
+			}
+			fmt.Println()
+		}
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&rep); err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
-	fmt.Printf("wrote %s\n", *out)
+	return rep
 }
 
 // measure times p.Assign over the trace `rounds` times (after one warm-up)
@@ -139,6 +239,61 @@ func measure(p policy.RL, tr *trace.Trace, m *costmodel.Model, rounds int) time.
 		}
 	}
 	return best
+}
+
+// measureTraining times a fresh Train run of `steps` environment steps per
+// round (after a shorter warm-up run) and returns the best round. Each round
+// rebuilds the trainer so step counts, annealing and optimizer state are
+// identical across rounds and engines.
+func measureTraining(net rl.NetConfig, tr *trace.Trace, m *costmodel.Model, singleSample bool, steps int64, workers, rounds int) time.Duration {
+	cfg := rl.DefaultA3CConfig()
+	cfg.Net = net
+	cfg.Workers = workers
+	cfg.Seed = 7
+	cfg.SingleSample = singleSample
+	run := func(n int64) time.Duration {
+		a3c, err := rl.NewA3C(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		factory, err := rl.TraceFactory(m, tr, net.HistLen, mdp.DefaultReward(), pricing.Hot)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if _, err := a3c.Train(factory, n); err != nil {
+			fatal(err)
+		}
+		return time.Since(start)
+	}
+	warm := steps / 4
+	if warm < int64(cfg.NSteps) {
+		warm = int64(cfg.NSteps)
+	}
+	run(warm)
+	best := time.Duration(0)
+	for i := 0; i < rounds; i++ {
+		if d := run(steps); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func writeReport(path string, rep report) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,199 @@
+package mat
+
+import (
+	"fmt"
+
+	"minicost/internal/par"
+)
+
+// This file holds the kernels behind the batched *gradient* pass
+// (nn.BackwardBatch): a buffer-reusing transpose, accumulating products for
+// weight gradients (one tiled for large batches, one transpose-free for
+// short training rollouts), a shared-dimension-outer product for short-batch
+// input gradients, and a packer that reads a matrix transposed so the
+// large-batch input-gradient GEMM can run on the packed SIMD kernel without
+// materializing Wᵀ first.
+//
+// The numerical contract matches gemm.go: every output element's shared-
+// dimension accumulation runs sequentially in index order, seeded — for the
+// accumulating variant — with the element's existing value. That is exactly
+// the order in which the single-sample nn backward loops add one gradient
+// term per sample, so batched gradients are bitwise identical to the
+// per-sample reference.
+
+// TransposeTo writes srcᵀ into dst, reusing dst's backing storage when large
+// enough (pass nil to allocate); the returned matrix must be used in place
+// of dst. It is the scratch-friendly sibling of Matrix.T.
+func TransposeTo(dst, src *Matrix) *Matrix {
+	dst = EnsureShape(dst, src.Cols, src.Rows)
+	for r := 0; r < src.Rows; r++ {
+		row := src.Data[r*src.Cols : (r+1)*src.Cols]
+		for c, v := range row {
+			dst.Data[c*dst.Cols+r] = v
+		}
+	}
+	return dst
+}
+
+// MulTransBAccTo accumulates dst += a·bᵀ in place; dst must already have
+// shape a.Rows×b.Rows (there is no implicit zeroing — weight-gradient
+// accumulators arrive pre-seeded). Each element's k-chain is sequential and
+// seeded with the element's current value, so adding one rank-per-sample
+// term at a time through this kernel reproduces the per-sample accumulation
+// bitwise. workers bounds the parallel fan-out as in MulTransBTo.
+func MulTransBAccTo(dst, a, b *Matrix, workers int) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransBAcc shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransBAcc dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if workers == 1 || a.Rows*a.Cols*b.Rows < gemmParallelFlops {
+		mulTransBAccBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	par.ForBatched(a.Rows, gemmRowTile, workers, func(lo, hi int) {
+		mulTransBAccBlock(dst, a, b, lo, hi)
+	})
+}
+
+// MulTransAAccTo accumulates dst += aᵀ·b in place (a is K×M, b is K×N, dst
+// is M×N) without materializing the transpose — the weight-gradient product
+// dW += dYᵀ·X taken directly on the row-major batch matrices. For each dst
+// row the K samples stream past while the row accumulator stays
+// cache-resident, so for the short training batches this kernel serves
+// (K = NSteps) the only full-size memory traffic is dst itself. Each
+// element's K-chain runs in ascending sample order seeded with the
+// element's current value — the per-sample accumulation order — and
+// distinct dst rows are independent, so the parallel fan-out splits on
+// them.
+func MulTransAAccTo(dst, a, b *Matrix, workers int) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransAAcc shape mismatch (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransAAcc dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	if workers == 1 || a.Rows*a.Cols*b.Cols < gemmParallelFlops {
+		mulTransAAccBlock(dst, a, b, 0, dst.Rows)
+		return
+	}
+	par.ForBatched(dst.Rows, gemmRowTile, workers, func(lo, hi int) {
+		mulTransAAccBlock(dst, a, b, lo, hi)
+	})
+}
+
+// gradColTile is the column-stripe width for the short-batch gradient
+// kernels: 256 float64s keep one stripe of all NSteps sample rows (the
+// operand revisited across the long output dimension) resident in L1 instead
+// of re-streaming it from L2 on every pass. Striping only partitions
+// independent output elements, so accumulation order is untouched.
+const gradColTile = 256
+
+// mulTransAAccBlock fills dst rows [lo, hi); the sample loop is inside the
+// row loop so every element accumulates its samples in ascending order, and
+// the column stripes keep the revisited b stripe cache-resident while dst
+// streams through exactly once.
+func mulTransAAccBlock(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for c0 := 0; c0 < n; c0 += gradColTile {
+		c1 := c0 + gradColTile
+		if c1 > n {
+			c1 = n
+		}
+		for m := lo; m < hi; m++ {
+			drow := dst.Data[m*n+c0 : m*n+c1]
+			for k := 0; k < a.Rows; k++ {
+				g := a.Data[k*a.Cols+m]
+				axpy(drow, b.Data[k*n+c0:k*n+c1], g)
+			}
+		}
+	}
+}
+
+// MulKOuterTo computes dst = a·b with the shared dimension as the outermost
+// loop: each b row streams through the cache exactly once while the whole
+// dst block stays resident — the right trade for short-batch products where
+// dst has only NSteps rows but b is a full weight matrix (Dense's training
+// input gradient dX = dY·W). Every element's k-chain is ascending and
+// seeded at zero, matching the per-sample input-gradient loops. The
+// parallel fan-out splits b's columns, which preserves the k-outer order
+// inside each stripe.
+func MulKOuterTo(dst, a, b *Matrix, workers int) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulKOuter shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst = EnsureShape(dst, a.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	if workers == 1 || a.Rows*a.Cols*b.Cols < gemmParallelFlops {
+		mulKOuterBlock(dst, a, b, 0, b.Cols)
+		return dst
+	}
+	par.ForBatched(b.Cols, 512, workers, func(lo, hi int) {
+		mulKOuterBlock(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// mulKOuterBlock accumulates dst columns [lo, hi) with the shared dimension
+// outermost inside each column stripe: the dst stripe stays cache-resident
+// across the whole k sweep while b's stripe streams through once, instead of
+// every k pass resweeping the full dst width out of L2.
+func mulKOuterBlock(dst, a, b *Matrix, lo, hi int) {
+	for c0 := lo; c0 < hi; c0 += gradColTile {
+		c1 := c0 + gradColTile
+		if c1 > hi {
+			c1 = hi
+		}
+		for k := 0; k < b.Rows; k++ {
+			brow := b.Data[k*b.Cols+c0 : k*b.Cols+c1]
+			for r := 0; r < a.Rows; r++ {
+				v := a.Data[r*a.Cols+k]
+				axpy(dst.Data[r*dst.Cols+c0:r*dst.Cols+c1], brow, v)
+			}
+		}
+	}
+}
+
+// mulTransBAccBlock fills output rows [lo, hi) like mulTransBBlock, except
+// each accumulator is seeded from dst instead of a bias vector. Four
+// independent output columns run together to hide FP-add latency; every
+// element's own k-accumulation stays sequential.
+func mulTransBAccBlock(dst, a, b *Matrix, lo, hi int) {
+	n, k := b.Rows, a.Cols
+	for j0 := 0; j0 < n; j0 += gemmColTile {
+		j1 := j0 + gemmColTile
+		if j1 > n {
+			j1 = n
+		}
+		for r := lo; r < hi; r++ {
+			arow := a.Data[r*k : (r+1)*k]
+			drow := dst.Data[r*n : (r+1)*n]
+			j := j0
+			for ; j+4 <= j1; j += 4 {
+				b0 := b.Data[j*k : j*k+k]
+				b1 := b.Data[(j+1)*k : (j+1)*k+k]
+				b2 := b.Data[(j+2)*k : (j+2)*k+k]
+				b3 := b.Data[(j+3)*k : (j+3)*k+k]
+				s0, s1, s2, s3 := drow[j], drow[j+1], drow[j+2], drow[j+3]
+				for i, v := range arow {
+					s0 += v * b0[i]
+					s1 += v * b1[i]
+					s2 += v * b2[i]
+					s3 += v * b3[i]
+				}
+				drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+			}
+			for ; j < j1; j++ {
+				brow := b.Data[j*k : j*k+k]
+				s := drow[j]
+				for i, v := range arow {
+					s += v * brow[i]
+				}
+				drow[j] = s
+			}
+		}
+	}
+}

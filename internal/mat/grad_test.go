@@ -1,0 +1,216 @@
+package mat
+
+import (
+	"testing"
+
+	"minicost/internal/rng"
+)
+
+func randMat(r *rng.RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormalMS(0, 1)
+	}
+	return m
+}
+
+func TestTransposeToMatchesT(t *testing.T) {
+	r := rng.New(11)
+	for _, sh := range []struct{ rows, cols int }{{1, 1}, {3, 7}, {16, 16}, {33, 5}} {
+		m := randMat(r, sh.rows, sh.cols)
+		want := m.T()
+		got := TransposeTo(nil, m)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("%dx%d: shape %dx%d", sh.rows, sh.cols, got.Rows, got.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d: elem %d mismatch", sh.rows, sh.cols, i)
+			}
+		}
+		// Reuse with a different shape must still be exact.
+		m2 := randMat(r, sh.cols, sh.rows)
+		got = TransposeTo(got, m2)
+		want = m2.T()
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d reuse: elem %d mismatch", sh.cols, sh.rows, i)
+			}
+		}
+	}
+}
+
+// TestMulTransBAccBitwise pins the accumulating product to the per-sample
+// reference order: seed dst, then add Σ_k a[r][k]·b[c][k] one k at a time.
+func TestMulTransBAccBitwise(t *testing.T) {
+	r := rng.New(12)
+	for _, sh := range []struct{ m, n, k int }{{1, 1, 1}, {3, 5, 7}, {17, 33, 7}, {64, 40, 9}} {
+		a := randMat(r, sh.m, sh.k)
+		b := randMat(r, sh.n, sh.k)
+		dst := randMat(r, sh.m, sh.n) // pre-seeded accumulator
+		want := dst.Clone()
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				s := want.At(i, j)
+				for k := 0; k < sh.k; k++ {
+					s += a.At(i, k) * b.At(j, k)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		MulTransBAccTo(dst, a, b, 1)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d·(%dx%d)ᵀ: elem %d = %v, want %v (not bitwise equal)",
+					sh.m, sh.k, sh.n, sh.k, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestMulTransAAccBitwise pins the transpose-free weight-gradient kernel to
+// the per-sample reference order: seed dst, then add Σ_k a[k][i]·b[k][j]
+// one sample at a time, ascending. It must also agree exactly with the
+// transposing route (TransposeTo + MulTransBAccTo) the large-batch path
+// takes, so Dense's two backward paths are interchangeable bitwise.
+func TestMulTransAAccBitwise(t *testing.T) {
+	r := rng.New(15)
+	for _, sh := range []struct{ k, m, n int }{{1, 1, 1}, {7, 5, 33}, {5, 128, 40}, {16, 17, 9}} {
+		a := randMat(r, sh.k, sh.m)
+		b := randMat(r, sh.k, sh.n)
+		dst := randMat(r, sh.m, sh.n) // pre-seeded accumulator
+		want := dst.Clone()
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				s := want.At(i, j)
+				for k := 0; k < sh.k; k++ {
+					s += a.At(k, i) * b.At(k, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		other := dst.Clone()
+		MulTransAAccTo(dst, a, b, 1)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("(%dx%d)ᵀ·%dx%d: elem %d = %v, want %v (not bitwise equal)",
+					sh.k, sh.m, sh.k, sh.n, i, dst.Data[i], want.Data[i])
+			}
+		}
+		MulTransBAccTo(other, TransposeTo(nil, a), TransposeTo(nil, b), 1)
+		for i := range want.Data {
+			if other.Data[i] != want.Data[i] {
+				t.Fatalf("(%dx%d)ᵀ·%dx%d: transposing route elem %d diverges from reference",
+					sh.k, sh.m, sh.k, sh.n, i)
+			}
+		}
+	}
+}
+
+// TestMulKOuterBitwise pins the shared-dimension-outer product to the
+// per-element reference: each dst element sums its k-terms ascending from a
+// zero seed, exactly like the per-sample input-gradient loops.
+func TestMulKOuterBitwise(t *testing.T) {
+	r := rng.New(16)
+	for _, sh := range []struct{ m, k, n int }{{1, 1, 1}, {7, 128, 33}, {5, 17, 600}, {16, 9, 40}} {
+		a := randMat(r, sh.m, sh.k)
+		b := randMat(r, sh.k, sh.n)
+		want := New(sh.m, sh.n)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				s := 0.0
+				for k := 0; k < sh.k; k++ {
+					s += a.At(i, k) * b.At(k, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		// Dirty reused buffer: MulKOuterTo must fully overwrite it.
+		dst := randMat(r, sh.m, sh.n)
+		dst = MulKOuterTo(dst, a, b, 1)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d·%dx%d: elem %d = %v, want %v (not bitwise equal)",
+					sh.m, sh.k, sh.k, sh.n, i, dst.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestGradKernelShapePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"transA wrong rows", func() { MulTransAAccTo(New(4, 4), New(2, 3), New(2, 4), 1) }},
+		{"transA wrong cols", func() { MulTransAAccTo(New(3, 5), New(2, 3), New(2, 4), 1) }},
+		{"transA sample mismatch", func() { MulTransAAccTo(New(3, 4), New(2, 3), New(5, 4), 1) }},
+		{"kouter shared mismatch", func() { MulKOuterTo(nil, New(2, 3), New(4, 5), 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}
+
+func TestMulTransBAccShapePanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 3)
+	for _, tc := range []struct {
+		name string
+		dst  *Matrix
+	}{{"wrong rows", New(3, 4)}, {"wrong cols", New(2, 5)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			MulTransBAccTo(tc.dst, a, b, 1)
+		}()
+	}
+}
+
+// TestPackTransposeMatchesPackOfT verifies PackTransposeTo(m) produces the
+// identical packed layout as PackTransBTo(mᵀ), including padding, across
+// ragged and exact tile widths.
+func TestPackTransposeMatchesPackOfT(t *testing.T) {
+	r := rng.New(13)
+	for _, sh := range []struct{ rows, cols int }{{4, 3}, {7, 16}, {128, 33}, {5, 40}} {
+		m := randMat(r, sh.rows, sh.cols)
+		want := PackTransBTo(nil, m.T())
+		got := PackTransposeTo(nil, m)
+		if got.Cols != want.Cols || got.K != want.K || len(got.Data) != len(want.Data) {
+			t.Fatalf("%dx%d: packed shape (%d,%d,%d) want (%d,%d,%d)",
+				sh.rows, sh.cols, got.Cols, got.K, len(got.Data), want.Cols, want.K, len(want.Data))
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d: packed elem %d mismatch", sh.rows, sh.cols, i)
+			}
+		}
+	}
+}
+
+// TestPackTransposeGEMM runs the packed kernel on a transposed pack and
+// checks bitwise agreement with the unpacked reference product a·(mᵀ)ᵀ.
+func TestPackTransposeGEMM(t *testing.T) {
+	r := rng.New(14)
+	for _, sh := range []struct{ batch, rows, cols int }{{1, 4, 3}, {9, 7, 19}, {5, 128, 30}} {
+		m := randMat(r, sh.rows, sh.cols) // plays W: rows=shared dim, cols=outputs
+		a := randMat(r, sh.batch, sh.rows)
+		pb := PackTransposeTo(nil, m)
+		got := MulPackTransBBiasTo(nil, a, pb, nil, 1)
+		want := MulTransBBiasTo(nil, a, m.T(), nil, 1)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("batch %d %dx%d: elem %d = %v, want %v",
+					sh.batch, sh.rows, sh.cols, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

@@ -62,6 +62,44 @@ func PackTransBTo(dst *PackedTransB, b *Matrix) *PackedTransB {
 	return dst
 }
 
+// PackTransposeTo packs mᵀ as a transposed-B operand without materializing
+// the transpose: the packed operand's output columns are m's *columns* and
+// the shared dimension is m's *rows* (Cols = m.Cols, K = m.Rows). Dense's
+// batched backward uses it to run dX = dY·W on the packed kernel — W is
+// stored row-per-output (Out×In), and the input-gradient product needs the
+// In×Out orientation. The inner copy walks m row-major, so packing stays
+// cache-friendly; the layout and zero-padding match PackTransBTo exactly.
+func PackTransposeTo(dst *PackedTransB, m *Matrix) *PackedTransB {
+	tiles := (m.Cols + packLanes - 1) / packLanes
+	need := tiles * m.Rows * packLanes
+	if dst == nil {
+		dst = &PackedTransB{}
+	}
+	if cap(dst.Data) >= need {
+		dst.Data = dst.Data[:need]
+	} else {
+		dst.Data = make([]float64, need)
+	}
+	dst.Cols, dst.K = m.Cols, m.Rows
+	k := m.Rows
+	for t := 0; t < tiles; t++ {
+		seg := dst.Data[t*k*packLanes : (t+1)*k*packLanes]
+		j0 := t * packLanes
+		w := packLanes
+		if j0+w > m.Cols {
+			w = m.Cols - j0
+		}
+		for i := 0; i < k; i++ {
+			drow := seg[i*packLanes : (i+1)*packLanes]
+			copy(drow[:w], m.Data[i*m.Cols+j0:i*m.Cols+j0+w])
+			for lane := w; lane < packLanes; lane++ {
+				drow[lane] = 0
+			}
+		}
+	}
+	return dst
+}
+
 // MulPackTransBBiasTo is the packed-operand version of MulTransBBiasTo:
 // dst[r][c] = bias[c] + Σ_k a[r][k]·B[c][k] with B pre-packed by
 // PackTransBTo. It is the hot path of the batched inference engine — on

@@ -1,0 +1,121 @@
+package mat
+
+import (
+	"testing"
+
+	"minicost/internal/rng"
+)
+
+func randMatrix(r *rng.RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Normal()
+	}
+	return m
+}
+
+// TestMulLaneForwardMatchesReferenceBitwise pins the 8-lane short-batch
+// forward against MulTransBBiasTo element-for-element across ragged row
+// counts (partial lane groups), ragged output counts (the single-output
+// remainder kernel), nil bias, and dirty buffer reuse.
+func TestMulLaneForwardMatchesReferenceBitwise(t *testing.T) {
+	r := rng.New(7)
+	var dst, xt *Matrix // reused across cases: stale contents must not leak
+	for _, rows := range []int{1, 2, 3, 7, 8, 9, 15, 16} {
+		for _, out := range []int{1, 3, 4, 5, 8, 128} {
+			for _, in := range []int{1, 5, 64} {
+				for _, withBias := range []bool{true, false} {
+					a := randMatrix(r, rows, in)
+					b := randMatrix(r, out, in)
+					var bias []float64
+					if withBias {
+						bias = make([]float64, out)
+						for i := range bias {
+							bias[i] = r.Normal()
+						}
+					}
+					want := MulTransBBiasTo(nil, a, b, bias, 1)
+					dst, xt = mulLaneForward(dst, xt, a, b, bias)
+					if dst.Rows != want.Rows || dst.Cols != want.Cols {
+						t.Fatalf("rows=%d out=%d in=%d: shape %dx%d, want %dx%d",
+							rows, out, in, dst.Rows, dst.Cols, want.Rows, want.Cols)
+					}
+					for i := range want.Data {
+						if dst.Data[i] != want.Data[i] {
+							t.Fatalf("rows=%d out=%d in=%d bias=%v: elem %d = %v, want %v (not bitwise equal)",
+								rows, out, in, withBias, i, dst.Data[i], want.Data[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulTransBBiasXTToDispatch checks the public wrapper returns the same
+// bits as the reference whichever implementation the platform selects.
+func TestMulTransBBiasXTToDispatch(t *testing.T) {
+	r := rng.New(11)
+	a := randMatrix(r, 7, 33)
+	b := randMatrix(r, 12, 33)
+	bias := make([]float64, 12)
+	for i := range bias {
+		bias[i] = r.Normal()
+	}
+	want := MulTransBBiasTo(nil, a, b, bias, 1)
+	got, _ := MulTransBBiasXTTo(nil, nil, a, b, bias, 1)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("elem %d = %v, want %v (not bitwise equal)", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestDotXT8KernelsMatchGenericBitwise compares the dispatched lane kernels
+// against their scalar references on dirty accumulators, covering the
+// zero-length guard and odd shared-dimension lengths.
+func TestDotXT8KernelsMatchGenericBitwise(t *testing.T) {
+	r := rng.New(3)
+	for _, in := range []int{0, 1, 2, 17, 64, 129} {
+		xt := make([]float64, in*laneWidth)
+		for i := range xt {
+			xt[i] = r.Normal()
+		}
+
+		w1 := make([]float64, in)
+		for i := range w1 {
+			w1[i] = r.Normal()
+		}
+		accGot := make([]float64, laneWidth)
+		accWant := make([]float64, laneWidth)
+		for i := range accGot {
+			accGot[i] = r.Normal()
+			accWant[i] = accGot[i]
+		}
+		dotXT8(w1, xt, accGot)
+		dotXT8Generic(w1, xt, accWant)
+		for i := range accWant {
+			if accGot[i] != accWant[i] {
+				t.Fatalf("dotXT8 in=%d: lane %d = %v, want %v", in, i, accGot[i], accWant[i])
+			}
+		}
+
+		w4 := make([]float64, 4*in)
+		for i := range w4 {
+			w4[i] = r.Normal()
+		}
+		got4 := make([]float64, 4*laneWidth)
+		want4 := make([]float64, 4*laneWidth)
+		for i := range got4 {
+			got4[i] = r.Normal()
+			want4[i] = got4[i]
+		}
+		dotXT8x4(w4, in, xt, got4)
+		dotXT8x4Generic(w4, in, xt, want4)
+		for i := range want4 {
+			if got4[i] != want4[i] {
+				t.Fatalf("dotXT8x4 in=%d: elem %d = %v, want %v", in, i, got4[i], want4[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package mat
+
+// Assembly kernels (vec_amd64.s) with the same runtime AVX detection as the
+// GEMM path. Both kernels vectorize across independent elements only, so
+// they are bitwise-identical to the generic loops; see vec.go.
+
+func axpyAVX(dst, x []float64, alpha float64)
+
+func rmspropAVX(dst, params, grads, msq []float64, lr, decay, rem, eps float64)
+
+func dotXT8AVX(w, xt, acc []float64)
+
+func dotXT8x4AVX(w []float64, in int, xt, acc []float64)
+
+func sumsq8AVX(g []float64, p *[8]float64)
+
+func scalAVX(dst []float64, s float64)
+
+// laneKernels reports whether the 8-lane short-batch forward kernel is
+// worth taking: without SIMD its transposed gather only adds overhead.
+var laneKernels = haveAVX
+
+func axpy(dst, x []float64, alpha float64) {
+	if haveAVX && len(dst) >= 4 {
+		axpyAVX(dst, x, alpha)
+		return
+	}
+	axpyGeneric(dst, x, alpha)
+}
+
+func dotXT8(w, xt, acc []float64) {
+	if haveAVX {
+		dotXT8AVX(w, xt, acc)
+		return
+	}
+	dotXT8Generic(w, xt, acc)
+}
+
+func dotXT8x4(w []float64, in int, xt, acc []float64) {
+	if haveAVX {
+		dotXT8x4AVX(w, in, xt, acc)
+		return
+	}
+	dotXT8x4Generic(w, in, xt, acc)
+}
+
+func sumsq8(g []float64, p *[8]float64) {
+	if haveAVX {
+		sumsq8AVX(g, p)
+		return
+	}
+	sumsq8Generic(g, p)
+}
+
+func scal(dst []float64, s float64) {
+	if haveAVX && len(dst) >= 4 {
+		scalAVX(dst, s)
+		return
+	}
+	scalGeneric(dst, s)
+}
+
+func rmspropVec(dst, params, grads, msq []float64, lr, decay, rem, eps float64) {
+	n := 0
+	if haveAVX {
+		// The assembly kernel runs whole 4-lane groups; the ragged tail
+		// falls through to the scalar loop.
+		n = len(grads) &^ 3
+		if n > 0 {
+			rmspropAVX(dst[:n], params[:n], grads[:n], msq[:n], lr, decay, rem, eps)
+		}
+	}
+	rmspropGeneric(dst[n:], params[n:], grads[n:], msq[n:], lr, decay, rem, eps)
+}

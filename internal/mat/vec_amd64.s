@@ -1,0 +1,291 @@
+#include "textflag.h"
+
+// func axpyAVX(dst, x []float64, alpha float64)
+//
+// dst[i] += alpha · x[i]. Lanes are independent elements, so each element
+// still sees exactly one VMULPD rounding and one VADDPD rounding — the same
+// two roundings as the scalar statement (never FMA). Two 4-wide groups per
+// iteration, then a 4-wide step, then a VEX-scalar tail (staying VEX avoids
+// SSE/AVX transition stalls before VZEROUPPER).
+TEXT ·axpyAVX(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	VBROADCASTSD alpha+48(FP), Y0
+
+loop8:
+	CMPQ CX, $8
+	JL   loop4
+	VMOVUPD (SI), Y1
+	VMULPD  Y1, Y0, Y1
+	VADDPD  (DI), Y1, Y1
+	VMOVUPD Y1, (DI)
+	VMOVUPD 32(SI), Y2
+	VMULPD  Y2, Y0, Y2
+	VADDPD  32(DI), Y2, Y2
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  loop8
+
+loop4:
+	CMPQ CX, $4
+	JL   tail
+	VMOVUPD (SI), Y1
+	VMULPD  Y1, Y0, Y1
+	VADDPD  (DI), Y1, Y1
+	VMOVUPD Y1, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+
+tail:
+	TESTQ CX, CX
+	JZ    done
+	VMOVSD (SI), X1
+	VMULSD X1, X0, X1
+	VADDSD (DI), X1, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET
+
+// func rmspropAVX(dst, params, grads, msq []float64, lr, decay, rem, eps float64)
+//
+// One RMSProp update over whole 4-lane groups (the Go wrapper peels the
+// ragged tail). Per element, in scalar evaluation order:
+//
+//	m      = decay·msq + (rem·g)·g
+//	dst    = params − (lr·g) / (sqrt(m) + eps)
+//
+// Every packed operation (mul, add, sub, div, sqrt) is IEEE correctly
+// rounded, identical to its scalar form, so lanes match the generic loop
+// bitwise. len(grads) must be a multiple of 4; all slices share it.
+TEXT ·rmspropAVX(SB), NOSPLIT, $0-128
+	MOVQ dst_base+0(FP), DI
+	MOVQ params_base+24(FP), DX
+	MOVQ grads_base+48(FP), SI
+	MOVQ grads_len+56(FP), CX
+	MOVQ msq_base+72(FP), BX
+	VBROADCASTSD lr+96(FP), Y14
+	VBROADCASTSD decay+104(FP), Y12
+	VBROADCASTSD rem+112(FP), Y13
+	VBROADCASTSD eps+120(FP), Y15
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VMOVUPD (SI), Y0         // g
+	VMULPD  Y0, Y13, Y1      // rem·g
+	VMULPD  Y0, Y1, Y1       // (rem·g)·g
+	VMOVUPD (BX), Y2
+	VMULPD  Y2, Y12, Y2      // decay·msq
+	VADDPD  Y1, Y2, Y2       // m
+	VMOVUPD Y2, (BX)
+	VSQRTPD Y2, Y3           // sqrt(m)
+	VADDPD  Y15, Y3, Y3      // sqrt(m)+eps
+	VMULPD  Y0, Y14, Y4      // lr·g
+	VDIVPD  Y3, Y4, Y4       // (lr·g)/(sqrt(m)+eps)
+	VMOVUPD (DX), Y5
+	VSUBPD  Y4, Y5, Y5       // params − step
+	VMOVUPD Y5, (DI)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	ADDQ $32, DX
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JNZ  loop
+
+done:
+	VZEROUPPER
+	RET
+
+// func dotXT8AVX(w, xt, acc []float64)
+//
+// acc[r] += Σ_i w[i] · xt[i*8+r] for the 8 lanes r. Each lane is an
+// independent batch row whose accumulation runs sequentially in i with one
+// VMULPD and one VADDPD rounding per term — exactly the scalar chain, never
+// FMA. Used for the remainder outputs of the short-batch forward; the
+// 4-output variant below is the main kernel.
+TEXT ·dotXT8AVX(SB), NOSPLIT, $0-72
+	MOVQ w_base+0(FP), SI
+	MOVQ w_len+8(FP), CX
+	MOVQ xt_base+24(FP), DX
+	MOVQ acc_base+48(FP), DI
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	TESTQ CX, CX
+	JZ    store1
+
+dot1:
+	VBROADCASTSD (SI), Y4
+	VMULPD (DX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(DX), Y4, Y6
+	VADDPD Y6, Y1, Y1
+	ADDQ $8, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  dot1
+
+store1:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func dotXT8x4AVX(w []float64, in int, xt, acc []float64)
+//
+// Four consecutive length-in rows of w against the shared 8-lane transposed
+// batch: acc[j*8+r] += Σ_i w[j*in+i] · xt[i*8+r]. Interleaving four outputs
+// keeps eight independent accumulator chains in flight so the broadcast/
+// mul/add latency of any single chain is hidden; each (j, r) element still
+// accumulates sequentially in i with scalar roundings.
+TEXT ·dotXT8x4AVX(SB), NOSPLIT, $0-80
+	MOVQ w_base+0(FP), SI
+	MOVQ in+24(FP), CX
+	MOVQ xt_base+32(FP), DX
+	MOVQ acc_base+56(FP), DI
+	MOVQ CX, AX
+	SHLQ $3, AX              // w row stride in bytes
+	LEAQ (SI)(AX*1), R8
+	LEAQ (R8)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	VMOVUPD 128(DI), Y4
+	VMOVUPD 160(DI), Y5
+	VMOVUPD 192(DI), Y6
+	VMOVUPD 224(DI), Y7
+	TESTQ CX, CX
+	JZ    store4
+
+dot4:
+	VMOVUPD (DX), Y8
+	VMOVUPD 32(DX), Y9
+	VBROADCASTSD (SI), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y1, Y1
+	VBROADCASTSD (R8), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y2, Y2
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y3, Y3
+	VBROADCASTSD (R9), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y4, Y4
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y5, Y5
+	VBROADCASTSD (R10), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y6, Y6
+	VMULPD Y9, Y10, Y11
+	VADDPD Y11, Y7, Y7
+	ADDQ $8, SI
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  dot4
+
+store4:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VMOVUPD Y4, 128(DI)
+	VMOVUPD Y5, 160(DI)
+	VMOVUPD Y6, 192(DI)
+	VMOVUPD Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func sumsq8AVX(g []float64, p *[8]float64)
+//
+// Accumulates eight independent sum-of-squares chains over whole 8-element
+// groups: p[l] += Σ g[i*8+l]². The caller (SumSquares) owns the fixed-order
+// reduction of the partials and the ragged tail, so this kernel and
+// sumsq8Generic compute the identical eight values. len(g) must be a
+// multiple of 8.
+TEXT ·sumsq8AVX(SB), NOSPLIT, $0-32
+	MOVQ g_base+0(FP), SI
+	MOVQ g_len+8(FP), CX
+	MOVQ p+24(FP), DI
+	SHRQ $3, CX
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	TESTQ CX, CX
+	JZ    ssdone
+
+ssloop:
+	VMOVUPD (SI), Y2
+	VMULPD  Y2, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMOVUPD 32(SI), Y3
+	VMULPD  Y3, Y3, Y3
+	VADDPD  Y3, Y1, Y1
+	ADDQ $64, SI
+	DECQ CX
+	JNZ  ssloop
+
+ssdone:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func scalAVX(dst []float64, s float64)
+//
+// dst[i] *= s. Independent elements, one correctly rounded multiply each —
+// bitwise-identical to the scalar loop. VEX-scalar tail as in axpyAVX.
+TEXT ·scalAVX(SB), NOSPLIT, $0-32
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	VBROADCASTSD s+24(FP), Y0
+
+scloop8:
+	CMPQ CX, $8
+	JL   scloop4
+	VMOVUPD (DI), Y1
+	VMULPD  Y1, Y0, Y1
+	VMOVUPD Y1, (DI)
+	VMOVUPD 32(DI), Y2
+	VMULPD  Y2, Y0, Y2
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  scloop8
+
+scloop4:
+	CMPQ CX, $4
+	JL   sctail
+	VMOVUPD (DI), Y1
+	VMULPD  Y1, Y0, Y1
+	VMOVUPD Y1, (DI)
+	ADDQ $32, DI
+	SUBQ $4, CX
+
+sctail:
+	TESTQ CX, CX
+	JZ    scdone
+	VMOVSD (DI), X1
+	VMULSD X1, X0, X1
+	VMOVSD X1, (DI)
+	ADDQ $8, DI
+	DECQ CX
+	JMP  sctail
+
+scdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,136 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"minicost/internal/rng"
+)
+
+// TestAxpyBitwise pins axpy (whichever implementation the platform selects)
+// to the plain scalar statement across ragged lengths, including ones that
+// exercise the 8-wide, 4-wide and scalar-tail paths of the AVX kernel.
+func TestAxpyBitwise(t *testing.T) {
+	r := rng.New(21)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 127, 1024, 3206} {
+		dst := make([]float64, n)
+		x := make([]float64, n)
+		for i := range dst {
+			dst[i] = r.NormalMS(0, 1)
+			x[i] = r.NormalMS(0, 1)
+		}
+		alpha := r.NormalMS(0, 1)
+		want := append([]float64(nil), dst...)
+		for i := range want {
+			want[i] += alpha * x[i]
+		}
+		axpy(dst, x, alpha)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("len %d: elem %d = %v, want %v (not bitwise equal)", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSumSquaresMatchesReferenceBitwise pins the dispatched 8-chain norm
+// against a scalar recomputation of the same chain structure across tail
+// lengths.
+func TestSumSquaresMatchesReferenceBitwise(t *testing.T) {
+	r := rng.New(5)
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 16, 100, 3206} {
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = r.Normal()
+		}
+		var p [8]float64
+		sumsq8Generic(g[:n&^7], &p)
+		want := ((p[0] + p[1]) + (p[2] + p[3])) + ((p[4] + p[5]) + (p[6] + p[7]))
+		for _, v := range g[n&^7:] {
+			want += v * v
+		}
+		if got := SumSquares(g); got != want {
+			t.Fatalf("n=%d: SumSquares = %v, want %v (not bitwise equal)", n, got, want)
+		}
+	}
+}
+
+// TestScaleVecBitwise pins the dispatched scale against the scalar loop,
+// including sub-vector and ragged-tail lengths.
+func TestScaleVecBitwise(t *testing.T) {
+	r := rng.New(6)
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 11, 100, 3206} {
+		got := make([]float64, n)
+		want := make([]float64, n)
+		for i := range got {
+			got[i] = r.Normal()
+			want[i] = got[i]
+		}
+		s := r.Normal()
+		ScaleVec(got, s)
+		scalGeneric(want, s)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: elem %d = %v, want %v (not bitwise equal)", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRMSPropStepBitwise pins RMSPropStep to the scalar update expression:
+// sustained steps over ragged lengths so the vector body and the peeled tail
+// both accumulate moments, with an aliased-dst pass mirroring the in-place
+// optimizer use.
+func TestRMSPropStepBitwise(t *testing.T) {
+	r := rng.New(22)
+	// float64 variables, not untyped constants: the reference below must
+	// compute 1-decay with the same float64 subtraction the kernel uses.
+	lr, decay, eps := 1e-3, 0.99, 1e-8
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 11, 203, 1025} {
+		params := make([]float64, n)
+		for i := range params {
+			params[i] = r.NormalMS(0, 1)
+		}
+		wantP := append([]float64(nil), params...)
+		wantM := make([]float64, n)
+		gotM := make([]float64, n)
+		grads := make([]float64, n)
+		dst := make([]float64, n)
+		for step := 0; step < 9; step++ {
+			for i := range grads {
+				grads[i] = r.NormalMS(0, 1)
+			}
+			rem := 1 - decay
+			for i, g := range grads {
+				m := decay*wantM[i] + rem*g*g
+				wantM[i] = m
+				wantP[i] = wantP[i] - lr*g/(math.Sqrt(m)+eps)
+			}
+			if step%2 == 0 {
+				RMSPropStep(dst, params, grads, gotM, lr, decay, eps)
+				copy(params, dst)
+			} else {
+				RMSPropStep(params, params, grads, gotM, lr, decay, eps)
+			}
+			for i := range wantP {
+				if params[i] != wantP[i] {
+					t.Fatalf("len %d step %d: param %d = %v, want %v (not bitwise equal)",
+						n, step, i, params[i], wantP[i])
+				}
+				if gotM[i] != wantM[i] {
+					t.Fatalf("len %d step %d: msq %d = %v, want %v (not bitwise equal)",
+						n, step, i, gotM[i], wantM[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRMSPropStepLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	RMSPropStep(make([]float64, 4), make([]float64, 4), make([]float64, 3), make([]float64, 4), 1e-3, 0.99, 1e-8)
+}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+
+	"minicost/internal/mat"
+)
+
+// Batched backward: BackwardBatch back-propagates a whole batch of output
+// gradients (one per matrix row) through a layer in one pass, accumulating
+// parameter gradients and returning the batch of input gradients. It is the
+// training-side counterpart of ForwardBatch and must follow the ForwardBatch
+// whose retained activations it consumes.
+//
+// Exactness: the single-sample reference processes the batch row by row, so
+// every parameter-gradient element receives its per-row terms in ascending
+// row order, each added to the element's running value one at a time. The
+// batched kernels keep exactly that order — Dense's weight gradient runs
+// dW += dYᵀ·X through mat.MulTransBAccTo (row-sequential, seeded from the
+// existing gradient), Conv1D replays the im2col windows with the reference's
+// zero-gradient skip, and the input-gradient products seed at zero and walk
+// the output dimension in index order, matching the per-sample loops term
+// for term. Batched training is therefore bitwise identical to the
+// per-sample loop, which the rl equivalence tests pin down.
+//
+// Buffer ownership matches ForwardBatch: returned matrices are owned by the
+// layer and overwritten by its next BackwardBatch call; scratch grows to the
+// largest batch seen, so steady-state batched training performs no
+// allocations. workers bounds the intra-GEMM fan-out exactly as in
+// ForwardBatch — A3C workers pass 1 because they already run in parallel.
+
+// BackwardBatch implements the batched gradient pass for Dense. Three
+// products, each in the reference accumulation order:
+//
+//	db[o] += Σ_r dy[r][o]          (r ascending, seeded from the live grad)
+//	dW[o][i] += Σ_r dy[r][o]·x[r][i]  (r ascending, seeded from the live grad)
+//	dx[r][i] = Σ_o dy[r][o]·w[o][i]   (o ascending, seeded at zero)
+//
+// Short batches (under packMinRows — training rollouts) run transpose- and
+// pack-free: dW goes through mat.MulTransAAccTo directly on the row-major
+// batches and dx through mat.MulKOuterTo, each streaming the full-size
+// operand exactly once. Larger batches amortize tiling instead: dW is a
+// GEMM over the transposed gradient and input batches, and dx runs on the
+// packed SIMD kernel against a transposed-weight pack (PackTransposeTo),
+// mirroring ForwardBatch's packed GEMM. All kernels share the accumulation-
+// order contract, so both paths are bitwise identical to the reference.
+func (d *Dense) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
+	if d.bx == nil {
+		panic("nn: Dense BackwardBatch before ForwardBatch")
+	}
+	if dy.Cols != d.Out || dy.Rows != d.bx.Rows {
+		panic(fmt.Sprintf("nn: Dense BackwardBatch %dx%d, want %dx%d", dy.Rows, dy.Cols, d.bx.Rows, d.Out))
+	}
+	if d.gView == nil {
+		d.gView = &mat.Matrix{Rows: d.Out, Cols: d.In}
+	}
+	d.gView.Data = d.w.Grad
+	if d.wView == nil {
+		d.wView = &mat.Matrix{Rows: d.Out, Cols: d.In}
+	}
+	d.wView.Data = d.w.Value
+	if dy.Rows < packMinRows {
+		for o := 0; o < d.Out; o++ {
+			s := d.b.Grad[o]
+			for r := 0; r < dy.Rows; r++ {
+				s += dy.Data[r*d.Out+o]
+			}
+			d.b.Grad[o] = s
+		}
+		mat.MulTransAAccTo(d.gView, dy, d.bx, workers)
+		d.bdx = mat.MulKOuterTo(d.bdx, dy, d.wView, workers)
+		return d.bdx
+	}
+	d.dyT = mat.TransposeTo(d.dyT, dy)
+	d.bxT = mat.TransposeTo(d.bxT, d.bx)
+	for o := 0; o < d.Out; o++ {
+		s := d.b.Grad[o]
+		for _, g := range d.dyT.Row(o) {
+			s += g
+		}
+		d.b.Grad[o] = s
+	}
+	mat.MulTransBAccTo(d.gView, d.dyT, d.bxT, workers)
+	d.wtpack = mat.PackTransposeTo(d.wtpack, d.wView)
+	d.bdx = mat.MulPackTransBBiasTo(d.bdx, dy, d.wtpack, nil, workers)
+	return d.bdx
+}
+
+// BackwardBatch implements the batched gradient pass for Conv1D, reusing the
+// im2col buffer ForwardBatch retained: row r·ol+t of c.col is exactly the
+// input window sample r's output position t read, so the gradient pass never
+// re-gathers windows from the input.
+//
+// Two passes, both preserving the reference's `g == 0` skip (rewards are
+// often zero early in a trace, so whole timesteps of critic gradient vanish
+// and the skip is both a real win and part of the bitwise contract):
+//
+//   - parameter gradients: filter-major, then (row, position) ascending —
+//     for a fixed filter the reference's per-sample f-loop contributes terms
+//     in precisely that order, and distinct filters touch disjoint gradient
+//     elements, so the element-wise accumulation order is unchanged;
+//   - input gradients: row-major with the reference's f-outer/t-inner walk,
+//     each output row scattered back through its filter taps.
+func (c *Conv1D) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
+	ol := c.outLen()
+	if dy.Cols != c.Filters*ol || dy.Rows != c.brows {
+		panic(fmt.Sprintf("nn: Conv1D BackwardBatch %dx%d, want %dx%d", dy.Rows, dy.Cols, c.brows, c.Filters*ol))
+	}
+	for f := 0; f < c.Filters; f++ {
+		gw := c.w.Grad[f*c.Kernel : (f+1)*c.Kernel]
+		bg := c.b.Grad[f]
+		for r := 0; r < dy.Rows; r++ {
+			drow := dy.Row(r)
+			for t := 0; t < ol; t++ {
+				g := drow[f*ol+t]
+				if g == 0 {
+					continue
+				}
+				bg += g
+				win := c.col.Row(r*ol + t)
+				for k := 0; k < c.Kernel; k++ {
+					gw[k] += g * win[k]
+				}
+			}
+		}
+		c.b.Grad[f] = bg
+	}
+	c.bdx = mat.EnsureShape(c.bdx, dy.Rows, c.InLen)
+	for i := range c.bdx.Data {
+		c.bdx.Data[i] = 0
+	}
+	for r := 0; r < dy.Rows; r++ {
+		drow := dy.Row(r)
+		dxrow := c.bdx.Row(r)
+		for f := 0; f < c.Filters; f++ {
+			w := c.w.Value[f*c.Kernel : (f+1)*c.Kernel]
+			for t := 0; t < ol; t++ {
+				g := drow[f*ol+t]
+				if g == 0 {
+					continue
+				}
+				base := t * c.Stride
+				for k := 0; k < c.Kernel; k++ {
+					dxrow[base+k] += g * w[k]
+				}
+			}
+		}
+	}
+	return c.bdx
+}
+
+// BackwardBatch implements the batched gradient pass for ReLU: the retained
+// input batch is the mask (dy passes where the input was positive).
+func (r *ReLU) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
+	if r.bx == nil {
+		panic("nn: ReLU BackwardBatch before ForwardBatch")
+	}
+	if dy.Rows != r.bx.Rows || dy.Cols != r.bx.Cols {
+		panic(fmt.Sprintf("nn: ReLU BackwardBatch %dx%d, want %dx%d", dy.Rows, dy.Cols, r.bx.Rows, r.bx.Cols))
+	}
+	r.bdx = mat.EnsureShape(r.bdx, dy.Rows, dy.Cols)
+	for i, g := range dy.Data {
+		if r.bx.Data[i] > 0 {
+			r.bdx.Data[i] = g
+		} else {
+			r.bdx.Data[i] = 0
+		}
+	}
+	return r.bdx
+}
+
+// BackwardBatch implements the batched gradient pass for Split: the leading
+// inner-output columns of dy are packed contiguously and sent through the
+// inner network, the tail columns pass through unchanged, mirroring
+// ForwardBatch's concatenation.
+func (s *Split) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
+	innerOut := s.Inner.OutDim(s.Head)
+	if dy.Cols < innerOut {
+		panic("nn: Split BackwardBatch gradient shorter than inner output")
+	}
+	tail := dy.Cols - innerOut
+	s.bdyHead = mat.EnsureShape(s.bdyHead, dy.Rows, innerOut)
+	for r := 0; r < dy.Rows; r++ {
+		copy(s.bdyHead.Row(r), dy.Row(r)[:innerOut])
+	}
+	dHead := s.Inner.BackwardBatch(s.bdyHead, workers)
+	s.bdx = mat.EnsureShape(s.bdx, dy.Rows, s.Head+tail)
+	for r := 0; r < dy.Rows; r++ {
+		xrow := s.bdx.Row(r)
+		copy(xrow, dHead.Row(r))
+		copy(xrow[s.Head:], dy.Row(r)[innerOut:])
+	}
+	return s.bdx
+}
+
+// BackwardBatch back-propagates a batch of output gradients through the
+// stack (after a ForwardBatch), accumulating parameter gradients and
+// returning the batched input gradient. The result is owned by the first
+// layer and overwritten by the next call.
+func (n *Network) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		dy = n.layers[i].BackwardBatch(dy, workers)
+	}
+	return dy
+}

@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"testing"
+
+	"minicost/internal/mat"
+	"minicost/internal/rng"
+)
+
+// refGrads runs the single-sample reference over the batch in row order —
+// Forward then Backward per row — and returns the resulting flat gradient
+// vector plus the per-row input gradients.
+func refGrads(net *Network, x, dy *mat.Matrix) ([]float64, *mat.Matrix) {
+	dx := mat.New(dy.Rows, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		net.Forward(x.Row(r))
+		copy(dx.Row(r), net.Backward(dy.Row(r)))
+	}
+	return net.GradVector(), dx
+}
+
+// assertBackwardBatchMatchesSingle checks that ForwardBatch + BackwardBatch
+// accumulates bitwise-identical parameter gradients and input gradients to
+// the per-sample reference, including on top of pre-existing gradients.
+func assertBackwardBatchMatchesSingle(t *testing.T, name string, build func() (*Network, *Network), x, dy *mat.Matrix, workers int) {
+	t.Helper()
+	batched, single := build()
+	// Seed both gradient accumulators with a shared nonzero state so the
+	// accumulate-in-place contract is exercised, not just the zero case.
+	seed := rng.New(99)
+	for pi, p := range single.Params() {
+		bp := batched.Params()[pi]
+		for i := range p.Grad {
+			g := seed.NormalMS(0, 0.1)
+			p.Grad[i] = g
+			bp.Grad[i] = g
+		}
+	}
+	wantGrad, wantDx := refGrads(single, x, dy)
+
+	batched.ForwardBatch(x, workers)
+	gotDx := batched.BackwardBatch(dy, workers)
+	gotGrad := batched.GradVector()
+
+	for i := range wantGrad {
+		if gotGrad[i] != wantGrad[i] {
+			t.Fatalf("%s: grad elem %d = %v, single-sample = %v (not bitwise equal)",
+				name, i, gotGrad[i], wantGrad[i])
+		}
+	}
+	for i := range wantDx.Data {
+		if gotDx.Data[i] != wantDx.Data[i] {
+			t.Fatalf("%s: input-grad elem %d = %v, single-sample = %v (not bitwise equal)",
+				name, i, gotDx.Data[i], wantDx.Data[i])
+		}
+	}
+}
+
+// sparseGrad zeroes a fraction of dy's entries so Conv1D's zero-gradient
+// skip path is exercised the way training exercises it (zero rewards ⇒ zero
+// critic gradients for whole timesteps).
+func sparseGrad(r *rng.RNG, rows, cols int) *mat.Matrix {
+	dy := randomBatch(r, rows, cols)
+	for i := range dy.Data {
+		if r.Float64() < 0.3 {
+			dy.Data[i] = 0
+		}
+	}
+	return dy
+}
+
+func TestDenseBackwardBatchBitwise(t *testing.T) {
+	r := rng.New(21)
+	for _, sh := range []struct{ in, out, batch int }{{3, 2, 1}, {33, 17, 5}, {159, 128, 64}} {
+		for _, workers := range []int{1, 0} {
+			x := randomBatch(r, sh.batch, sh.in)
+			dy := randomBatch(r, sh.batch, sh.out)
+			assertBackwardBatchMatchesSingle(t, "Dense", func() (*Network, *Network) {
+				seed := rng.New(31)
+				return NewNetwork(NewDense(seed, sh.in, sh.out)), NewNetwork(NewDense(rng.New(31), sh.in, sh.out))
+			}, x, dy, workers)
+		}
+	}
+}
+
+func TestConv1DBackwardBatchBitwise(t *testing.T) {
+	r := rng.New(22)
+	for _, sh := range []struct{ inLen, filters, kernel, stride, batch int }{
+		{8, 3, 4, 1, 1}, {28, 128, 4, 1, 33}, {14, 16, 4, 2, 7},
+	} {
+		c := NewConv1D(rng.New(32), sh.inLen, sh.filters, sh.kernel, sh.stride)
+		outDim := c.OutDim(sh.inLen)
+		x := randomBatch(r, sh.batch, sh.inLen)
+		dy := sparseGrad(r, sh.batch, outDim)
+		assertBackwardBatchMatchesSingle(t, "Conv1D", func() (*Network, *Network) {
+			return NewNetwork(NewConv1D(rng.New(32), sh.inLen, sh.filters, sh.kernel, sh.stride)),
+				NewNetwork(NewConv1D(rng.New(32), sh.inLen, sh.filters, sh.kernel, sh.stride))
+		}, x, dy, 1)
+	}
+}
+
+func TestReLUAndSplitBackwardBatchBitwise(t *testing.T) {
+	r := rng.New(23)
+	assertBackwardBatchMatchesSingle(t, "ReLU", func() (*Network, *Network) {
+		return NewNetwork(NewReLU()), NewNetwork(NewReLU())
+	}, randomBatch(r, 9, 21), randomBatch(r, 9, 21), 1)
+
+	build := func() (*Network, *Network) {
+		mk := func() *Network {
+			seed := rng.New(33)
+			return NewNetwork(NewSplit(14, NewNetwork(NewConv1D(seed, 14, 8, 4, 1), NewReLU())))
+		}
+		return mk(), mk()
+	}
+	x := randomBatch(r, 11, 20)
+	outDim := func() int { n, _ := build(); return n.OutDim(20) }()
+	assertBackwardBatchMatchesSingle(t, "Split", build, x, sparseGrad(r, 11, outDim), 1)
+}
+
+// TestNetworkBackwardBatchBitwise runs the full MiniCost-shaped stack
+// (Split(Conv1D→ReLU) → Dense → ReLU → Dense) through the batched gradient
+// pass and pins bitwise equality to the per-sample reference.
+func TestNetworkBackwardBatchBitwise(t *testing.T) {
+	r := rng.New(24)
+	head := 28
+	mk := func() *Network {
+		seed := rng.New(34)
+		front := NewNetwork(NewConv1D(seed, head, 32, 4, 1), NewReLU())
+		concat := front.OutDim(head) + 6
+		return NewNetwork(
+			NewSplit(head, front),
+			NewDense(seed, concat, 64),
+			NewReLU(),
+			NewDense(seed, 64, 3),
+		)
+	}
+	outDim := mk().OutDim(head + 6)
+	for _, workers := range []int{1, 0} {
+		x := randomBatch(r, 57, head+6)
+		dy := sparseGrad(r, 57, outDim)
+		assertBackwardBatchMatchesSingle(t, "Network", func() (*Network, *Network) { return mk(), mk() }, x, dy, workers)
+	}
+}
+
+// TestBackwardBatchAccumulatesAcrossBatches checks that two consecutive
+// ForwardBatch/BackwardBatch rounds accumulate gradients identically to the
+// per-sample reference over both batches in sequence — the exact shape of an
+// A3C update that backprops actor and critic losses without ZeroGrad between
+// rollout rows.
+func TestBackwardBatchAccumulatesAcrossBatches(t *testing.T) {
+	r := rng.New(25)
+	mk := func() *Network {
+		seed := rng.New(35)
+		return NewNetwork(NewDense(seed, 12, 8), NewReLU(), NewDense(seed, 8, 4))
+	}
+	batched, single := mk(), mk()
+	x1, dy1 := randomBatch(r, 7, 12), randomBatch(r, 7, 4)
+	x2, dy2 := randomBatch(r, 5, 12), sparseGrad(r, 5, 4)
+
+	refGrads(single, x1, dy1)
+	wantGrad, _ := refGrads(single, x2, dy2)
+
+	batched.ForwardBatch(x1, 1)
+	batched.BackwardBatch(dy1, 1)
+	batched.ForwardBatch(x2, 1)
+	batched.BackwardBatch(dy2, 1)
+	gotGrad := batched.GradVector()
+
+	for i := range wantGrad {
+		if gotGrad[i] != wantGrad[i] {
+			t.Fatalf("grad elem %d = %v, want %v after two batches", i, gotGrad[i], wantGrad[i])
+		}
+	}
+}
+
+// TestBackwardBatchSteadyStateAllocFree pins the buffer-reuse contract: after
+// warm-up, repeated same-shape ForwardBatch+BackwardBatch rounds allocate
+// nothing.
+func TestBackwardBatchSteadyStateAllocFree(t *testing.T) {
+	r := rng.New(26)
+	seed := rng.New(36)
+	front := NewNetwork(NewConv1D(seed, 14, 16, 4, 1), NewReLU())
+	concat := front.OutDim(14) + 5
+	net := NewNetwork(NewSplit(14, front), NewDense(seed, concat, 32), NewReLU(), NewDense(seed, 32, 3))
+	x := randomBatch(r, 21, 19)
+	dy := randomBatch(r, 21, 3)
+	net.ForwardBatch(x, 1)
+	net.BackwardBatch(dy, 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		net.ForwardBatch(x, 1)
+		net.BackwardBatch(dy, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batched train pass allocates %v times per round, want 0", allocs)
+	}
+}

@@ -6,11 +6,19 @@ import (
 	"minicost/internal/mat"
 )
 
-// Batched inference: ForwardBatch runs a whole batch of samples (one per
+// Batched forward: ForwardBatch runs a whole batch of samples (one per
 // matrix row) through a layer with one GEMM per parameterized layer, instead
-// of len(batch) single-sample passes. It is the serving-side fast path —
-// training stays on the single-sample Forward/Backward, which doubles as the
-// reference implementation the equivalence tests compare against.
+// of len(batch) single-sample passes. It serves two callers: the serving-side
+// inference engine (policy.RL, the agent server) and the batched training
+// path (rl's A3C workers), which follows it with BackwardBatch (backward.go).
+// The single-sample Forward/Backward remains the reference implementation the
+// equivalence tests compare against.
+//
+// To support the gradient pass, each layer retains what BackwardBatch needs:
+// Dense and ReLU keep a pointer to the input batch, Conv1D keeps its im2col
+// buffer (the gradient pass reads the same windows the forward GEMM did).
+// The retained input is a pointer into the previous layer's output buffer, so
+// BackwardBatch must run before that layer's next ForwardBatch.
 //
 // Exactness: every kernel accumulates each output element in the same
 // floating-point order as the single-sample Forward (bias seed, then the
@@ -28,18 +36,34 @@ import (
 // policy.RL — and <= 0 for the default when a single large batch should use
 // every core, e.g. the agent server planning all tracked files at once.
 
+// packMinRows is the batch size below which Dense skips repacking its
+// weights into the SIMD kernel layout. Packing copies the full O(Out·In)
+// weight block on every call (weights change between training updates, so
+// packs cannot be cached) and only amortizes once enough batch rows reuse
+// the packed tiles; short training rollouts (NSteps rows) run on the
+// unpacked kernels instead, which stream the weights once and are bitwise
+// identical by the same accumulation-order contract.
+const packMinRows = 16
+
 // ForwardBatch implements the batched pass for Dense: Y = X·Wᵀ + b, one
-// fused GEMM over the whole batch. The weights are repacked into the SIMD
-// kernel's tile layout on every call (a small, allocation-free fraction of
-// the GEMM cost), so weight mutations between calls are always picked up.
+// fused GEMM over the whole batch. For batches of at least packMinRows the
+// weights are repacked into the SIMD kernel's tile layout (a small,
+// allocation-free fraction of the GEMM cost at serving batch sizes), so
+// weight mutations between calls are always picked up; smaller batches use
+// the unpacked kernel directly.
 func (d *Dense) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: Dense batch input %d, want %d", x.Cols, d.In))
 	}
+	d.bx = x
 	if d.wView == nil {
 		d.wView = &mat.Matrix{Rows: d.Out, Cols: d.In}
 	}
 	d.wView.Data = d.w.Value
+	if x.Rows < packMinRows {
+		d.by, d.bxt = mat.MulTransBBiasXTTo(d.by, d.bxt, x, d.wView, d.b.Value, workers)
+		return d.by
+	}
 	d.wpack = mat.PackTransBTo(d.wpack, d.wView)
 	d.by = mat.MulPackTransBBiasTo(d.by, x, d.wpack, d.b.Value, workers)
 	return d.by
@@ -54,6 +78,7 @@ func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 		panic(fmt.Sprintf("nn: Conv1D batch input %d, want %d", x.Cols, c.InLen))
 	}
 	ol := c.outLen()
+	c.brows = x.Rows
 	c.col = mat.EnsureShape(c.col, x.Rows*ol, c.Kernel)
 	for r := 0; r < x.Rows; r++ {
 		xrow := x.Row(r)
@@ -81,9 +106,10 @@ func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 	return c.by
 }
 
-// ForwardBatch implements the batched pass for ReLU (elementwise, no mask:
-// inference never backpropagates).
+// ForwardBatch implements the batched pass for ReLU (elementwise; the
+// retained input batch doubles as the mask for BackwardBatch).
 func (r *ReLU) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
+	r.bx = x
 	r.by = mat.EnsureShape(r.by, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {

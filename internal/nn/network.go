@@ -3,11 +3,16 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"minicost/internal/mat"
 )
 
 // Network is a sequential stack of layers with flat parameter access.
 type Network struct {
 	layers []Layer
+	// flatGrads, when non-nil, is the single contiguous vector backing every
+	// layer's gradient accumulator (see FlattenGrads).
+	flatGrads []float64
 }
 
 // NewNetwork stacks the given layers.
@@ -49,6 +54,12 @@ func (n *Network) OutDim(in int) int {
 
 // ZeroGrad clears every gradient accumulator.
 func (n *Network) ZeroGrad() {
+	if n.flatGrads != nil {
+		for i := range n.flatGrads {
+			n.flatGrads[i] = 0
+		}
+		return
+	}
 	for _, p := range n.Params() {
 		for i := range p.Grad {
 			p.Grad[i] = 0
@@ -85,6 +96,46 @@ func (n *Network) SetParamVector(v []float64) {
 		copy(p.Value, v[off:off+len(p.Value)])
 		off += len(p.Value)
 	}
+}
+
+// BindParamVector points every parameter block at a subslice of v (layout
+// must match ParamVector's) instead of copying — an O(layers) pull. The
+// caller keeps ownership of v and must keep it immutable and alive while the
+// network can still read parameters; the network itself never writes
+// parameter values (only gradients), so sharing one vector across readers is
+// safe. rl's batched workers bind straight to the pinned published snapshot,
+// replacing a full-vector copy per update.
+func (n *Network) BindParamVector(v []float64) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("nn: BindParamVector len %d, want %d", len(v), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		size := len(p.Value)
+		p.Value = v[off : off+size : off+size]
+		off += size
+	}
+}
+
+// FlattenGrads rebacks every gradient accumulator with one contiguous vector
+// in ParamVector layout and returns it: after a backward pass the returned
+// slice IS the flat gradient vector, so training loops can clip and apply
+// without a GradVectorInto copy. Accumulated values are carried over on the
+// first call; the vector is owned by the network and stays valid across
+// backward passes and ZeroGrad.
+func (n *Network) FlattenGrads() []float64 {
+	if n.flatGrads == nil {
+		flat := make([]float64, n.NumParams())
+		off := 0
+		for _, p := range n.Params() {
+			size := len(p.Grad)
+			copy(flat[off:], p.Grad)
+			p.Grad = flat[off : off+size : off+size]
+			off += size
+		}
+		n.flatGrads = flat
+	}
+	return n.flatGrads
 }
 
 // GradVector copies all accumulated gradients into one flat vector.
@@ -152,21 +203,18 @@ func Entropy(p []float64) float64 {
 }
 
 // ClipGrads scales the flat gradient vector down to the given L2 norm if it
-// exceeds it, in place; a non-positive maxNorm is a no-op.
+// exceeds it, in place; a non-positive maxNorm is a no-op. The squared norm
+// is accumulated in mat.SumSquares's eight fixed-order chains, so the norm
+// (and hence any training trajectory crossing a clip) is a deterministic
+// function of the gradient alone — every engine and platform sees the same
+// bits.
 func ClipGrads(grads []float64, maxNorm float64) {
 	if maxNorm <= 0 {
 		return
 	}
-	ss := 0.0
-	for _, g := range grads {
-		ss += g * g
-	}
-	norm := math.Sqrt(ss)
+	norm := math.Sqrt(mat.SumSquares(grads))
 	if norm <= maxNorm {
 		return
 	}
-	scale := maxNorm / norm
-	for i := range grads {
-		grads[i] *= scale
-	}
+	mat.ScaleVec(grads, maxNorm/norm)
 }

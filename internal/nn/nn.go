@@ -27,18 +27,24 @@ type Param struct {
 // needs; Backward consumes the gradient w.r.t. its output, accumulates
 // parameter gradients, and returns the gradient w.r.t. its input.
 //
-// Buffer ownership: the slices Forward and Backward return — and the matrix
-// ForwardBatch returns — are owned by the layer and overwritten by its next
-// call of the same method; copy them if they must outlive that. This keeps
-// both the single-sample training loop and steady-state batched inference
-// allocation-free, which the A3C workers and the serving path depend on.
+// Buffer ownership: the slices Forward and Backward return — and the
+// matrices ForwardBatch and BackwardBatch return — are owned by the layer
+// and overwritten by its next call of the same method; copy them if they
+// must outlive that. This keeps the single-sample training loop, steady-
+// state batched inference and the batched training path allocation-free,
+// which the A3C workers and the serving path depend on.
 //
-// ForwardBatch (batch.go) is inference-only: it caches nothing for Backward
-// and must produce outputs bitwise identical to row-by-row Forward calls.
+// ForwardBatch (batch.go) must produce outputs bitwise identical to
+// row-by-row Forward calls. It retains the input batch (a pointer, not a
+// copy) so BackwardBatch (backward.go) can differentiate it; BackwardBatch
+// must follow the ForwardBatch whose activations it consumes and must
+// accumulate parameter gradients bitwise identically to calling Forward and
+// Backward once per row, in row order.
 type Layer interface {
 	Forward(x []float64) []float64
 	ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix
 	Backward(dy []float64) []float64
+	BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix
 	Params() []*Param
 	OutDim(inDim int) int
 	clone() Layer
@@ -52,8 +58,14 @@ type Dense struct {
 	y, dx   []float64 // reused output/input-gradient buffers
 
 	by    *mat.Matrix       // reused batched output
+	bxt   *mat.Matrix       // reused lane-transposed scratch for short batches
 	wView *mat.Matrix       // lazily built view of w.Value as an Out×In matrix
 	wpack *mat.PackedTransB // reused kernel-layout copy of the weights
+
+	bx            *mat.Matrix       // input batch retained by ForwardBatch for BackwardBatch
+	bxT, dyT, bdx *mat.Matrix       // reused gradient-pass scratch/output buffers
+	gView         *mat.Matrix       // lazily built view of w.Grad as an Out×In matrix
+	wtpack        *mat.PackedTransB // reused transposed-weight pack for the dX GEMM
 }
 
 // NewDense constructs a Dense layer with Xavier/Glorot uniform init.
@@ -142,6 +154,9 @@ type Conv1D struct {
 	col, gemm, by *mat.Matrix       // reused im2col / GEMM / batched-output buffers
 	wView         *mat.Matrix       // lazily built view of w.Value as Filters×Kernel
 	wpack         *mat.PackedTransB // reused kernel-layout copy of the filter bank
+
+	brows int         // batch rows seen by the last ForwardBatch (for BackwardBatch)
+	bdx   *mat.Matrix // reused batched input-gradient buffer
 }
 
 // NewConv1D constructs the layer; the paper's setting is Filters=128,
@@ -239,6 +254,8 @@ type ReLU struct {
 	mask  []bool
 	y, dx []float64   // reused buffers
 	by    *mat.Matrix // reused batched output
+	bx    *mat.Matrix // input batch retained by ForwardBatch for BackwardBatch
+	bdx   *mat.Matrix // reused batched input-gradient buffer
 }
 
 // NewReLU returns a ReLU activation.
@@ -297,6 +314,8 @@ type Split struct {
 	Inner     *Network
 	y, dx     []float64   // reused buffers
 	bhead, by *mat.Matrix // reused batched head/output buffers
+
+	bdyHead, bdx *mat.Matrix // reused batched gradient buffers
 }
 
 // NewSplit wraps inner over the first head inputs.

@@ -44,7 +44,7 @@ type A3CConfig struct {
 	NSteps int
 	// Workers is the number of asynchronous actor-learners.
 	Workers int
-	// GradClip bounds the global-update L2 norm; <= 0 disables.
+	// GradClip bounds the global-update L2 norm; 0 disables.
 	GradClip float64
 	// NormalizeRewards divides rewards by a running RMS estimate before
 	// computing returns. Eq. 4's reciprocal reward spans many orders of
@@ -53,7 +53,7 @@ type A3CConfig struct {
 	// advantages collapse the policy onto whatever action is sampled first.
 	NormalizeRewards bool
 	// AdvClip bounds the per-step advantage magnitude used in the policy
-	// gradient (applied after reward normalisation); <= 0 disables.
+	// gradient (applied after reward normalisation); 0 disables.
 	AdvClip float64
 	// CriticLRMult scales the critic's learning rate relative to the
 	// actor's. The critic must track value targets faster than the policy
@@ -66,7 +66,15 @@ type A3CConfig struct {
 	// annealing settles the policy oscillation that a constant step size
 	// sustains.
 	FinalLRFraction float64
-	Seed            uint64
+	// SingleSample selects the preserved per-sample reference update path
+	// (one critic and one actor Forward/Backward per transition, mutex-held
+	// parameter pulls) instead of the batched training engine. The batched
+	// path is bitwise identical at Workers=1 — the equivalence tests pin it
+	// — so this exists as the executable specification and for A/B
+	// benchmarks, mirroring policy.RL's SingleSample switch on the
+	// inference side.
+	SingleSample bool
+	Seed         uint64
 }
 
 // DefaultA3CConfig returns the paper's training configuration.
@@ -102,6 +110,8 @@ func (c A3CConfig) Validate() error {
 		return fmt.Errorf("rl: gamma %v outside [0,1)", c.Gamma)
 	case c.Epsilon < 0 || c.Epsilon > 1:
 		return fmt.Errorf("rl: epsilon %v", c.Epsilon)
+	case c.ExploreHold < 0:
+		return fmt.Errorf("rl: ExploreHold %d", c.ExploreHold)
 	case c.NSteps <= 0:
 		return fmt.Errorf("rl: NSteps %d", c.NSteps)
 	case c.Workers <= 0:
@@ -110,6 +120,12 @@ func (c A3CConfig) Validate() error {
 		return fmt.Errorf("rl: EntropyBeta %v", c.EntropyBeta)
 	case c.LogitDecay < 0:
 		return fmt.Errorf("rl: LogitDecay %v", c.LogitDecay)
+	case c.GradClip < 0:
+		return fmt.Errorf("rl: GradClip %v", c.GradClip)
+	case c.AdvClip < 0:
+		return fmt.Errorf("rl: AdvClip %v", c.AdvClip)
+	case c.CriticLRMult <= 0:
+		return fmt.Errorf("rl: CriticLRMult %v", c.CriticLRMult)
 	case c.FinalLRFraction < 0 || c.FinalLRFraction > 1:
 		return fmt.Errorf("rl: FinalLRFraction %v", c.FinalLRFraction)
 	}
@@ -133,17 +149,29 @@ func (c A3CConfig) newOptimizer() nn.Optimizer {
 }
 
 // A3C is the asynchronous advantage actor–critic trainer of Fig. 6: a
-// mutex-guarded global parameter server (actor + critic vectors and shared
-// optimizer state) that asynchronous workers pull parameters from and push
+// global parameter server (actor + critic vectors and shared optimizer
+// state) that asynchronous workers pull parameters from and push
 // accumulated gradients to.
+//
+// The global vectors live in a double-buffered store (batchtrain.go): the
+// current buffer is published through an atomic pointer, every optimizer
+// apply writes the updated vectors into the next buffer and swaps it in, and
+// superseded buffers are recycled once their readers drain. Synchronization
+// is therefore two-tier: a.mu serializes the apply (a short critical section
+// per update), while pulls on the batched path read the published buffer
+// lock-free and never convoy on the writers' lock. The SingleSample
+// reference path keeps the original mutex-held in-place apply and pulls.
 type A3C struct {
 	cfg A3CConfig
 
-	mu           sync.Mutex
-	actorParams  []float64
-	criticParams []float64
-	actorOpt     nn.Optimizer
-	criticOpt    nn.Optimizer
+	mu        sync.Mutex
+	actorOpt  nn.Optimizer
+	criticOpt nn.Optimizer
+
+	// snap is the published parameter buffer (the master copy); retired
+	// (guarded by mu) holds superseded buffers awaiting reader drain.
+	snap    atomic.Pointer[paramSnap]
+	retired []*paramSnap
 
 	protoActor  *nn.Network
 	protoCritic *nn.Network
@@ -160,18 +188,16 @@ func NewA3C(cfg A3CConfig) (*A3C, error) {
 	actor := cfg.Net.BuildActor(r.Split(1))
 	critic := cfg.Net.BuildCritic(r.Split(2))
 	criticOpt := cfg.newOptimizer()
-	if cfg.CriticLRMult > 0 {
-		criticOpt.SetLearningRate(cfg.LearningRate * cfg.CriticLRMult)
+	criticOpt.SetLearningRate(cfg.LearningRate * cfg.CriticLRMult)
+	a := &A3C{
+		cfg:         cfg,
+		actorOpt:    cfg.newOptimizer(),
+		criticOpt:   criticOpt,
+		protoActor:  actor,
+		protoCritic: critic,
 	}
-	return &A3C{
-		cfg:          cfg,
-		actorParams:  actor.ParamVector(),
-		criticParams: critic.ParamVector(),
-		actorOpt:     cfg.newOptimizer(),
-		criticOpt:    criticOpt,
-		protoActor:   actor,
-		protoCritic:  critic,
-	}, nil
+	a.snap.Store(&paramSnap{actor: actor.ParamVector(), critic: critic.ParamVector()})
+	return a, nil
 }
 
 // Config returns the training configuration.
@@ -184,7 +210,7 @@ func (a *A3C) Steps() int64 { return a.steps.Load() }
 func (a *A3C) Snapshot() *Agent {
 	actor := a.protoActor.Clone()
 	a.mu.Lock()
-	actor.SetParamVector(a.actorParams)
+	actor.SetParamVector(a.snap.Load().actor)
 	a.mu.Unlock()
 	return NewAgent(a.cfg.Net, actor)
 }
@@ -194,7 +220,7 @@ func (a *A3C) Snapshot() *Agent {
 func (a *A3C) CriticSnapshot() *nn.Network {
 	critic := a.protoCritic.Clone()
 	a.mu.Lock()
-	critic.SetParamVector(a.criticParams)
+	critic.SetParamVector(a.snap.Load().critic)
 	a.mu.Unlock()
 	return critic
 }
@@ -297,16 +323,30 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 	var norm rewardNorm
 	stickyLeft := 0
 	var stickyAction pricing.Tier
-	var aGradBuf, cGradBuf []float64
+	// Flat-backed gradient accumulators: after a backward pass these slices
+	// already hold the flat gradient vectors, so no per-update copy exists
+	// between accumulation and clip/apply.
+	aGrad := actor.FlattenGrads()
+	cGrad := critic.FlattenGrads()
 	dLogits := make([]float64, mdp.NumActions)
+	var bb batchBuf
+	var held *paramSnap
+	defer func() { releaseSnapshot(held) }()
 
 	for a.steps.Load() < totalSteps {
 		// Pull the latest global parameters (Algorithm 1 line 1's "memory"
-		// synchronisation).
-		a.mu.Lock()
-		actor.SetParamVector(a.actorParams)
-		critic.SetParamVector(a.criticParams)
-		a.mu.Unlock()
+		// synchronisation): a lock-free zero-copy bind of the published
+		// snapshot on the batched path, the original mutex-held copy on the
+		// reference path.
+		if a.cfg.SingleSample {
+			a.mu.Lock()
+			cur := a.snap.Load()
+			actor.SetParamVector(cur.actor)
+			critic.SetParamVector(cur.critic)
+			a.mu.Unlock()
+		} else {
+			held = a.bindSnapshot(actor, critic, held)
+		}
 		actor.ZeroGrad()
 		critic.ZeroGrad()
 
@@ -366,47 +406,18 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 
 		// n-step return bootstrap (lines 6–8): R = 0 at episode end,
 		// V(s_{t+n}) otherwise.
-		ret := 0.0
+		boot := 0.0
 		if !done {
-			ret = critic.Forward(state.Features())[0]
+			boot = critic.Forward(state.Features())[0]
 		}
-		for i := len(buf.rewards) - 1; i >= 0; i-- {
-			ret = buf.rewards[i] + a.cfg.Gamma*ret
-
-			// Critic: minimize 0.5 (V - R)^2.
-			v := critic.Forward(buf.features[i])[0]
-			critic.Backward([]float64{v - ret})
-
-			// Actor: ascend A·∇log π(a|s) + β ∇H(π). Advantage Eq. 10 uses
-			// the critic's value as the baseline V^π(s).
-			adv := ret - v
-			if a.cfg.AdvClip > 0 {
-				adv = math.Max(-a.cfg.AdvClip, math.Min(a.cfg.AdvClip, adv))
-			}
-			logits := actor.Forward(buf.features[i])
-			p := nn.Softmax(logits)
-			h := nn.Entropy(p)
-			for k := range dLogits {
-				grad := adv * p[k] // d(-log π(a))·A / dz_k , part 1
-				if k == buf.actions[i] {
-					grad -= adv
-				}
-				if p[k] > 0 {
-					// Entropy bonus: d(-βH)/dz_k = β π_k (log π_k + H).
-					grad += a.cfg.EntropyBeta * p[k] * (math.Log(p[k]) + h)
-				}
-				// Logit L2 decay (see A3CConfig.LogitDecay).
-				grad += a.cfg.LogitDecay * logits[k]
-				dLogits[k] = grad
-			}
-			actor.Backward(dLogits)
+		if a.cfg.SingleSample {
+			a.accumulateSingle(actor, critic, &buf, boot, dLogits)
+		} else {
+			a.accumulateBatched(actor, critic, &buf, boot, &bb)
 		}
 
-		// Push accumulated gradients to the global parameters (Eq. 12).
-		aGradBuf = actor.GradVectorInto(aGradBuf)
-		cGradBuf = critic.GradVectorInto(cGradBuf)
-		aGrad := aGradBuf
-		cGrad := cGradBuf
+		// Push accumulated gradients to the global parameters (Eq. 12); the
+		// flat-backed accumulators are the gradient vectors.
 		nn.ClipGrads(aGrad, a.cfg.GradClip)
 		nn.ClipGrads(cGrad, a.cfg.GradClip)
 		a.mu.Lock()
@@ -418,16 +429,58 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 			}
 			scale := 1 - (1-f)*progress
 			a.actorOpt.SetLearningRate(a.cfg.LearningRate * scale)
-			mult := a.cfg.CriticLRMult
-			if mult <= 0 {
-				mult = 1
-			}
-			a.criticOpt.SetLearningRate(a.cfg.LearningRate * mult * scale)
+			a.criticOpt.SetLearningRate(a.cfg.LearningRate * a.cfg.CriticLRMult * scale)
 		}
-		a.actorOpt.Step(a.actorParams, aGrad)
-		a.criticOpt.Step(a.criticParams, cGrad)
+		if a.cfg.SingleSample {
+			// Reference path: apply in place on the current buffer. No
+			// lock-free readers exist in this mode (pulls hold a.mu), so
+			// mutating the published buffer is safe.
+			cur := a.snap.Load()
+			a.actorOpt.Step(cur.actor, aGrad)
+			a.criticOpt.Step(cur.critic, cGrad)
+		} else {
+			a.applyLocked(aGrad, cGrad)
+		}
 		a.mu.Unlock()
 		st.Updates++
 	}
 	return st
+}
+
+// accumulateSingle replays the rollout through the per-sample reference
+// path — one critic and one actor Forward/Backward per transition, newest
+// first. It is the executable specification accumulateBatched must match
+// bitwise; ret arrives as the bootstrap value (0 at episode end).
+func (a *A3C) accumulateSingle(actor, critic *nn.Network, buf *rollout, ret float64, dLogits []float64) {
+	for i := len(buf.rewards) - 1; i >= 0; i-- {
+		ret = buf.rewards[i] + a.cfg.Gamma*ret
+
+		// Critic: minimize 0.5 (V - R)^2.
+		v := critic.Forward(buf.features[i])[0]
+		critic.Backward([]float64{v - ret})
+
+		// Actor: ascend A·∇log π(a|s) + β ∇H(π). Advantage Eq. 10 uses
+		// the critic's value as the baseline V^π(s).
+		adv := ret - v
+		if a.cfg.AdvClip > 0 {
+			adv = math.Max(-a.cfg.AdvClip, math.Min(a.cfg.AdvClip, adv))
+		}
+		logits := actor.Forward(buf.features[i])
+		p := nn.Softmax(logits)
+		h := nn.Entropy(p)
+		for k := range dLogits {
+			grad := adv * p[k] // d(-log π(a))·A / dz_k , part 1
+			if k == buf.actions[i] {
+				grad -= adv
+			}
+			if p[k] > 0 {
+				// Entropy bonus: d(-βH)/dz_k = β π_k (log π_k + H).
+				grad += a.cfg.EntropyBeta * p[k] * (math.Log(p[k]) + h)
+			}
+			// Logit L2 decay (see A3CConfig.LogitDecay).
+			grad += a.cfg.LogitDecay * logits[k]
+			dLogits[k] = grad
+		}
+		actor.Backward(dLogits)
+	}
 }

@@ -121,3 +121,7 @@ func (a *Agent) Sample(s *mdp.State, epsilon float64, r *rng.RNG) pricing.Tier {
 func (a *Agent) Clone() *Agent {
 	return &Agent{Net: a.Net, actor: a.actor.Clone()}
 }
+
+// ParamVector returns a copy of the actor's flat parameter vector
+// (diagnostics and the training-equivalence tests compare policies by it).
+func (a *Agent) ParamVector() []float64 { return a.actor.ParamVector() }

@@ -1,0 +1,180 @@
+package rl
+
+import (
+	"bytes"
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+)
+
+// trainParams runs a fresh trainer with cfg over a polar-trace factory and
+// returns copies of the final actor/critic parameter vectors plus stats.
+func trainParams(t *testing.T, cfg A3CConfig, files, days int, steps int64) ([]float64, []float64, TrainStats) {
+	t.Helper()
+	tr := polarTrace(t, files, days)
+	model := costmodel.New(pricing.Azure())
+	a3c, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a3c.Train(factory, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := a3c.snap.Load()
+	return append([]float64(nil), cur.actor...),
+		append([]float64(nil), cur.critic...), stats
+}
+
+func assertVectorsBitwise(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: elem %d = %v, want %v (not bitwise equal)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchedTrainerMatchesSingleSampleBitwise is the training-engine
+// equivalence gate: at Workers=1 with a fixed seed, the batched update path
+// must leave bitwise-identical actor and critic parameters to the preserved
+// per-sample reference after a sustained run (> 50 updates). The wide-net
+// sweep across PaperWidths lives in internal/experiments.
+func TestBatchedTrainerMatchesSingleSampleBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := smallA3CConfig()
+	cfg.Workers = 1
+	const steps = 400 // 57 updates at NSteps 7
+
+	ref := cfg
+	ref.SingleSample = true
+	wantA, wantC, wantStats := trainParams(t, ref, 8, 14, steps)
+	gotA, gotC, gotStats := trainParams(t, cfg, 8, 14, steps)
+
+	if wantStats.Updates < 50 {
+		t.Fatalf("only %d updates; test needs a sustained run", wantStats.Updates)
+	}
+	if gotStats != wantStats {
+		t.Fatalf("stats diverged: batched %+v, single-sample %+v", gotStats, wantStats)
+	}
+	assertVectorsBitwise(t, "actor", gotA, wantA)
+	assertVectorsBitwise(t, "critic", gotC, wantC)
+}
+
+// TestTrainDeterministicAtOneWorker pins the seed contract: two fresh
+// trainers with the same configuration reach bitwise-identical parameters.
+func TestTrainDeterministicAtOneWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := smallA3CConfig()
+	cfg.Workers = 1
+	a1, c1, s1 := trainParams(t, cfg, 6, 12, 300)
+	a2, c2, s2 := trainParams(t, cfg, 6, 12, 300)
+	if s1 != s2 {
+		t.Fatalf("stats diverged across identical runs: %+v vs %+v", s1, s2)
+	}
+	assertVectorsBitwise(t, "actor", a2, a1)
+	assertVectorsBitwise(t, "critic", c2, c1)
+}
+
+// TestCheckpointRoundTripResumesBatchedTraining checks SaveCheckpoint /
+// LoadCheckpoint through the batched trainer: a run saved mid-training and
+// resumed in a fresh process must land exactly where the original run does.
+// SGD with annealing disabled makes the comparison exact (the checkpoint
+// deliberately omits optimizer moments and the global step counter, the two
+// pieces of state RMSProp/annealing would additionally need).
+func TestCheckpointRoundTripResumesBatchedTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := smallA3CConfig()
+	cfg.Workers = 1
+	cfg.Optimizer = "sgd"
+	cfg.FinalLRFraction = 1
+
+	tr := polarTrace(t, 8, 14)
+	model := costmodel.New(pricing.Azure())
+	factory, err := TraceFactory(model, tr, cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Train(factory, 300); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Continue the original for another 300 steps (Train resumes from the
+	// global step counter).
+	if _, err := orig.Train(factory, 600); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Train(factory, 300); err != nil {
+		t.Fatal(err)
+	}
+
+	resumedCur, origCur := resumed.snap.Load(), orig.snap.Load()
+	assertVectorsBitwise(t, "actor", resumedCur.actor, origCur.actor)
+	assertVectorsBitwise(t, "critic", resumedCur.critic, origCur.critic)
+}
+
+// TestLoadCheckpointRepublishesSnapshot guards the batched path's pull
+// source directly: after a load, a snapshot pull must see the restored
+// weights, not the ones published at construction.
+func TestLoadCheckpointRepublishesSnapshot(t *testing.T) {
+	cfg := smallA3CConfig()
+	src, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcCur := src.snap.Load()
+	for i := range srcCur.actor {
+		srcCur.actor[i] = float64(i%13) * 0.01
+	}
+	for i := range srcCur.critic {
+		srcCur.critic[i] = -float64(i%7) * 0.02
+	}
+	var buf bytes.Buffer
+	if err := src.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	actor := dst.protoActor.Clone()
+	critic := dst.protoCritic.Clone()
+	held := dst.bindSnapshot(actor, critic, nil)
+	assertVectorsBitwise(t, "actor", actor.ParamVector(), srcCur.actor)
+	assertVectorsBitwise(t, "critic", critic.ParamVector(), srcCur.critic)
+	releaseSnapshot(held)
+}

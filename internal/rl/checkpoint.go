@@ -70,11 +70,12 @@ func LoadAgent(r io.Reader) (*Agent, error) {
 // updates of progress.
 func (a *A3C) SaveCheckpoint(w io.Writer) error {
 	a.mu.Lock()
+	cur := a.snap.Load()
 	cp := checkpoint{
 		Version: checkpointVersion,
 		Net:     a.cfg.Net,
-		Actor:   append([]float64(nil), a.actorParams...),
-		Critic:  append([]float64(nil), a.criticParams...),
+		Actor:   append([]float64(nil), cur.actor...),
+		Critic:  append([]float64(nil), cur.critic...),
 	}
 	a.mu.Unlock()
 	if err := gob.NewEncoder(w).Encode(cp); err != nil {
@@ -98,10 +99,12 @@ func (a *A3C) LoadCheckpoint(r io.Reader) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if len(cp.Actor) != len(a.actorParams) || len(cp.Critic) != len(a.criticParams) {
+	cur := a.snap.Load()
+	if len(cp.Actor) != len(cur.actor) || len(cp.Critic) != len(cur.critic) {
 		return fmt.Errorf("rl: checkpoint parameter counts do not match trainer")
 	}
-	copy(a.actorParams, cp.Actor)
-	copy(a.criticParams, cp.Critic)
+	// Install into a fresh buffer and swap, so batched-path workers pull the
+	// restored weights instead of whatever buffer was published before.
+	a.installLocked(cp.Actor, cp.Critic)
 	return nil
 }

@@ -104,6 +104,10 @@ func TestA3CConfigValidate(t *testing.T) {
 		mut(func(c *A3CConfig) { c.NSteps = 0 }),
 		mut(func(c *A3CConfig) { c.Workers = 0 }),
 		mut(func(c *A3CConfig) { c.EntropyBeta = -1 }),
+		mut(func(c *A3CConfig) { c.ExploreHold = -1 }),
+		mut(func(c *A3CConfig) { c.GradClip = -1 }),
+		mut(func(c *A3CConfig) { c.AdvClip = -0.5 }),
+		mut(func(c *A3CConfig) { c.CriticLRMult = 0 }),
 		mut(func(c *A3CConfig) { c.Optimizer = "lion" }),
 	} {
 		if c.Validate() == nil {
