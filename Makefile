@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-inference bench-training
+.PHONY: build test check bench-inference bench-training bench-evaluation
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,8 @@ bench-inference:
 # A3C training engine at the paper and Quick configs, one worker).
 bench-training:
 	$(GO) run ./cmd/bench -mode training -o BENCH_training.json
+
+# bench-evaluation regenerates BENCH_evaluation.json (per-window vs swept
+# Fig. 7 horizon evaluation on one core at the Quick and Full configs).
+bench-evaluation:
+	$(GO) run ./cmd/bench -mode evaluation -o BENCH_evaluation.json

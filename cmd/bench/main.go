@@ -9,12 +9,17 @@
 //     per-sample updates with mutex pulls versus the batched training engine
 //     with snapshot pulls, at the same configurations (paper: 128 filters,
 //     NSteps 7).
+//   - mode "evaluation" (BENCH_evaluation.json): the Fig. 7 horizon sweep on
+//     one core, per-window reference engine versus the single-pass sweep
+//     engine, at the experiments Quick and Full configurations (random
+//     agent — runtime is weight-independent).
 //
 // Usage:
 //
 //	bench                        # inference mode, writes BENCH_inference.json
 //	bench -mode training         # writes BENCH_training.json
-//	bench -mode all              # both files
+//	bench -mode evaluation       # writes BENCH_evaluation.json
+//	bench -mode all              # all files
 //	bench -o results.json        # alternate output path (single mode only)
 //	bench -files 1024 -days 28   # heavier inference workload
 //	bench -cpuprofile cpu.pprof  # profile the benchmarked paths
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"minicost/internal/costmodel"
+	"minicost/internal/experiments"
 	"minicost/internal/mdp"
 	"minicost/internal/policy"
 	"minicost/internal/pricing"
@@ -70,11 +76,24 @@ type trainResult struct {
 	SpeedupVs1  float64 `json:"speedup_vs_single,omitempty"`
 }
 
+// evalResult is one (config, engine) horizon-sweep measurement.
+type evalResult struct {
+	Config     string  `json:"config"`
+	Files      int     `json:"files"`
+	Days       int     `json:"days"`
+	Horizons   []int   `json:"horizons"`
+	Engine     string  `json:"engine"` // "perwindow" or "swept"
+	Rounds     int     `json:"rounds"`
+	TotalMS    float64 `json:"total_ms"`
+	SpeedupVs1 float64 `json:"speedup_vs_perwindow,omitempty"`
+}
+
 type report struct {
-	Benchmark string        `json:"benchmark"`
-	GoMaxProc int           `json:"gomaxprocs"`
-	Results   []result      `json:"results,omitempty"`
-	Training  []trainResult `json:"training,omitempty"`
+	Benchmark  string        `json:"benchmark"`
+	GoMaxProc  int           `json:"gomaxprocs"`
+	Results    []result      `json:"results,omitempty"`
+	Training   []trainResult `json:"training,omitempty"`
+	Evaluation []evalResult  `json:"evaluation,omitempty"`
 }
 
 // benchConfigs are the shared network shapes: the paper's architecture and
@@ -89,7 +108,7 @@ var benchConfigs = []struct {
 
 func main() {
 	var (
-		mode       = flag.String("mode", "inference", `"inference", "training" or "all"`)
+		mode       = flag.String("mode", "inference", `"inference", "training", "evaluation" or "all"`)
 		out        = flag.String("o", "", "output JSON path (default BENCH_<mode>.json; single mode only)")
 		files      = flag.Int("files", 512, "files in the inference bench trace")
 		days       = flag.Int("days", 14, "trace days")
@@ -108,7 +127,8 @@ func main() {
 
 	runInference := *mode == "inference" || *mode == "all"
 	runTraining := *mode == "training" || *mode == "all"
-	if !runInference && !runTraining {
+	runEvaluation := *mode == "evaluation" || *mode == "all"
+	if !runInference && !runTraining && !runEvaluation {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 	if *out != "" && *mode == "all" {
@@ -128,6 +148,13 @@ func main() {
 			path = "BENCH_training.json"
 		}
 		writeReport(path, benchTraining(*trainSteps, *workers, *rounds))
+	}
+	if runEvaluation {
+		path := *out
+		if path == "" {
+			path = "BENCH_evaluation.json"
+		}
+		writeReport(path, benchEvaluation(*rounds))
 	}
 
 	if err := stopProf(); err != nil {
@@ -215,6 +242,81 @@ func benchTraining(steps int64, workers, rounds int) report {
 			fmt.Printf("%-9s %-8s %12.0f steps/s", cfg.name, r.engine, res.StepsPerSec)
 			if res.SpeedupVs1 > 0 {
 				fmt.Printf("  %.2fx vs single", res.SpeedupVs1)
+			}
+			fmt.Println()
+		}
+	}
+	return rep
+}
+
+// benchEvaluation times the Fig. 7 horizon sweep on one core: the
+// per-window reference engine (re-assign + re-price every method at every
+// horizon) versus the single-pass sweep engine. A random agent stands in for
+// the trained one — equivalence and runtime are weight-independent — so the
+// bench measures evaluation, not training.
+func benchEvaluation(rounds int) report {
+	rep := report{Benchmark: "evaluation", GoMaxProc: runtime.GOMAXPROCS(0)}
+	for _, lc := range []struct {
+		name string
+		cfg  experiments.Config
+	}{{"quick", experiments.Quick()}, {"full", experiments.Full()}} {
+		cfg := lc.cfg
+		// One worker everywhere: the speedup must come from the algorithm,
+		// not from the sweep engine's cross-method parallelism.
+		cfg.Workers = 1
+		l, err := experiments.NewLab(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		l.SetAgent(rl.NewAgent(cfg.Net, cfg.Net.BuildActor(rng.New(7))))
+
+		var horizons []int
+		run := func(swept bool) time.Duration {
+			if swept {
+				l.ResetEvalCache()
+			}
+			start := time.Now()
+			var r *experiments.Fig7Result
+			var err error
+			if swept {
+				r, err = l.Fig7()
+			} else {
+				r, err = l.Fig7Reference()
+			}
+			if err != nil {
+				fatal(err)
+			}
+			d := time.Since(start)
+			horizons = r.Days
+			return d
+		}
+
+		var perWindowBest time.Duration
+		for _, en := range []struct {
+			name  string
+			swept bool
+		}{{"perwindow", false}, {"swept", true}} {
+			run(en.swept) // warm-up
+			best := time.Duration(0)
+			for i := 0; i < rounds; i++ {
+				if d := run(en.swept); best == 0 || d < best {
+					best = d
+				}
+			}
+			res := evalResult{
+				Config: lc.name, Files: l.Test.NumFiles(), Days: l.Test.Days,
+				Horizons: horizons, Engine: en.name, Rounds: rounds,
+				TotalMS: float64(best.Microseconds()) / 1000,
+			}
+			if en.swept {
+				res.SpeedupVs1 = perWindowBest.Seconds() / best.Seconds()
+			} else {
+				perWindowBest = best
+			}
+			rep.Evaluation = append(rep.Evaluation, res)
+			fmt.Printf("%-9s %-10s %10.1f ms/sweep", lc.name, en.name, res.TotalMS)
+			if res.SpeedupVs1 > 0 {
+				fmt.Printf("  %.2fx vs perwindow", res.SpeedupVs1)
 			}
 			fmt.Println()
 		}

@@ -1,0 +1,160 @@
+package costmodel
+
+import (
+	"testing"
+
+	"minicost/internal/pricing"
+	"minicost/internal/rng"
+)
+
+// randomPlanSeries builds a random plan with matching frequency series,
+// covering idle days, heavy traffic and frequent tier changes.
+func randomPlanSeries(seed uint64, days int) (Plan, []float64, []float64) {
+	r := rng.New(seed)
+	plan := make(Plan, days)
+	reads := make([]float64, days)
+	writes := make([]float64, days)
+	for d := 0; d < days; d++ {
+		plan[d] = pricing.Tier(r.Intn(pricing.NumTiers))
+		switch r.Intn(3) {
+		case 0: // idle
+		case 1:
+			reads[d] = r.Float64() * 100
+		default:
+			reads[d] = r.Float64() * 100000
+		}
+		writes[d] = reads[d] * r.Float64() * 0.1
+	}
+	return plan, reads, writes
+}
+
+// TestFileCoeffsMatchComponentPrices: the flat affine coefficients reproduce
+// the per-component price methods bitwise — the foundation of the fused
+// kernels' exact equivalence.
+func TestFileCoeffsMatchComponentPrices(t *testing.T) {
+	m := model()
+	for _, size := range []float64{0.001, 0.1, 1, 37.5} {
+		c := m.FileCoeffs(size)
+		for tier := pricing.Tier(0); tier < pricing.NumTiers; tier++ {
+			for _, freq := range []struct{ r, w float64 }{{0, 0}, {1, 1}, {5000, 100}, {123456, 7.5}} {
+				want := m.StorageDay(tier, size) + m.ReadCost(tier, size, freq.r) + m.WriteCost(tier, size, freq.w)
+				if got := c.ServeCost(tier, freq.r, freq.w); got != want {
+					t.Fatalf("size %v tier %v: ServeCost %v != component sum %v", size, tier, got, want)
+				}
+			}
+			for from := pricing.Tier(0); from < pricing.NumTiers; from++ {
+				if got, want := c.Transition(from, tier), m.TransitionCost(from, tier, size); got != want {
+					t.Fatalf("Transition(%v,%v) %v != %v", from, tier, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCostMatchesComponentLoop: the fused flat-coefficient kernel is
+// bitwise identical to accumulating the per-component price methods day by
+// day.
+func TestPlanCostMatchesComponentLoop(t *testing.T) {
+	m := model()
+	for seed := uint64(1); seed <= 25; seed++ {
+		days := 1 + int(seed)%40
+		plan, reads, writes := randomPlanSeries(seed, days)
+		size := 0.001 + rng.New(seed^0xabc).Float64()*50
+		initial := pricing.Tier(seed % pricing.NumTiers)
+		got, err := m.PlanCost(initial, plan, size, reads, writes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want Breakdown
+		prev := initial
+		for d := range plan {
+			want.Storage += m.StorageDay(plan[d], size)
+			want.Read += m.ReadCost(plan[d], size, reads[d])
+			want.Write += m.WriteCost(plan[d], size, writes[d])
+			want.Transition += m.TransitionCost(prev, plan[d], size)
+			prev = plan[d]
+		}
+		if got != want {
+			t.Fatalf("seed %d: fused %+v != component loop %+v", seed, got, want)
+		}
+	}
+}
+
+// TestPlanCumCostsPrefixExact: cum[d-1] is bitwise the PlanCost of the
+// plan's first d days — the invariant the horizon-sweep engine rests on —
+// with and without retention billing.
+func TestPlanCumCostsPrefixExact(t *testing.T) {
+	for _, retention := range []bool{false, true} {
+		m := model()
+		m.ChargeRetention = retention
+		for seed := uint64(1); seed <= 15; seed++ {
+			days := 1 + int(seed)%30
+			plan, reads, writes := randomPlanSeries(seed, days)
+			size := 0.001 + rng.New(seed^0x77).Float64()*10
+			initial := pricing.Tier(seed % pricing.NumTiers)
+			cum := make([]Breakdown, days)
+			total, err := m.PlanCumCosts(initial, plan, size, reads, writes, cum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cum[days-1] != total {
+				t.Fatalf("retention=%v seed %d: last cum %+v != total %+v", retention, seed, cum[days-1], total)
+			}
+			for d := 1; d <= days; d++ {
+				want, err := m.PlanCost(initial, plan[:d], size, reads[:d], writes[:d])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cum[d-1] != want {
+					t.Fatalf("retention=%v seed %d day %d: cum %+v != window PlanCost %+v",
+						retention, seed, d, cum[d-1], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanCumCostsLengthMismatch(t *testing.T) {
+	m := model()
+	plan := Uniform(pricing.Hot, 3)
+	series := []float64{1, 2, 3}
+	if _, err := m.PlanCumCosts(pricing.Hot, plan, 0.1, series, series, make([]Breakdown, 2)); err == nil {
+		t.Fatal("short cum buffer accepted")
+	}
+	if _, err := m.PlanCumCosts(pricing.Hot, plan, 0.1, series[:2], series, make([]Breakdown, 3)); err == nil {
+		t.Fatal("short reads accepted")
+	}
+}
+
+// TestNewAssignmentArena: plans share one backing array but stay isolated —
+// full-capacity slicing keeps an append from bleeding into a neighbour.
+func TestNewAssignmentArena(t *testing.T) {
+	asg := NewAssignment(3, 4)
+	if len(asg) != 3 {
+		t.Fatalf("files %d", len(asg))
+	}
+	for i := range asg {
+		if len(asg[i]) != 4 || cap(asg[i]) != 4 {
+			t.Fatalf("plan %d: len %d cap %d", i, len(asg[i]), cap(asg[i]))
+		}
+	}
+	asg[1][0] = pricing.Cool
+	grown := append(asg[0], pricing.Archive)
+	if asg[1][0] != pricing.Cool {
+		t.Fatal("append to plan 0 bled into plan 1")
+	}
+	if grown[4] != pricing.Archive {
+		t.Fatal("append lost")
+	}
+	if empty := NewAssignment(0, 5); len(empty) != 0 {
+		t.Fatal("empty assignment")
+	}
+	uni := UniformAssignment(pricing.Cool, 2, 3)
+	for i := range uni {
+		for d := range uni[i] {
+			if uni[i][d] != pricing.Cool {
+				t.Fatalf("uniform assignment file %d day %d = %v", i, d, uni[i][d])
+			}
+		}
+	}
+}

@@ -55,10 +55,104 @@ type Model struct {
 	// file leaves a tier before the tier's MinRetentionDays (an extension
 	// beyond Eq. 9; off in all paper reproductions).
 	ChargeRetention bool
+
+	// flat caches the policy's per-tier price coefficients (populated by
+	// New; Coeffs computes them on demand for literal Models).
+	flat *TierCoeffs
 }
 
 // New returns a model over the given policy.
-func New(p *pricing.Policy) *Model { return &Model{Policy: p} }
+func New(p *pricing.Policy) *Model {
+	c := NewTierCoeffs(p)
+	return &Model{Policy: p, flat: &c}
+}
+
+// TierCoeffs holds one policy's per-tier price coefficients in flat arrays:
+// storage $/GB-day, read $/op, retrieval $/GB, write $/op, ingress $/GB, and
+// the transition $/GB fee. The hot loops (greedy, the Optimal DP, PlanCost)
+// index these arrays instead of re-deriving unit prices from the Policy per
+// file-day.
+type TierCoeffs struct {
+	StorPerGBDay [pricing.NumTiers]float64
+	ReadOp       [pricing.NumTiers]float64
+	RetrPerGB    [pricing.NumTiers]float64
+	WriteOp      [pricing.NumTiers]float64
+	IngrPerGB    [pricing.NumTiers]float64
+	TransPerGB   float64
+}
+
+// NewTierCoeffs flattens a policy's price schedule.
+func NewTierCoeffs(p *pricing.Policy) TierCoeffs {
+	var c TierCoeffs
+	for t := 0; t < pricing.NumTiers; t++ {
+		tier := pricing.Tier(t)
+		c.StorPerGBDay[t] = p.StoragePerGBDay(tier)
+		c.ReadOp[t] = p.ReadOpPrice(tier)
+		c.RetrPerGB[t] = p.Tiers[t].RetrievalPerGB
+		c.WriteOp[t] = p.WriteOpPrice(tier)
+		c.IngrPerGB[t] = p.Tiers[t].IngressPerGB
+	}
+	c.TransPerGB = p.TransitionPerGB
+	return c
+}
+
+// Coeffs returns the model's flat price coefficients.
+func (m *Model) Coeffs() TierCoeffs {
+	if m.flat != nil {
+		return *m.flat
+	}
+	return NewTierCoeffs(m.Policy)
+}
+
+// FileCoeffs are one file's affine per-day cost coefficients: with the file
+// size fixed, the cost of serving one day in tier t is
+//
+//	Stor[t] + reads·Read[t] + writes·Write[t]
+//
+// plus Trans when the day starts with a tier change. Deriving them once per
+// file turns every per-day pricing into three multiply-adds, and each term
+// is computed with exactly the arithmetic of StorageDay/ReadCost/WriteCost/
+// TransitionCost, so kernels built on FileCoeffs are bitwise identical to
+// the per-component Day path.
+type FileCoeffs struct {
+	Stor  [pricing.NumTiers]float64 // storage $/day (Eq. 6 prorated)
+	Read  [pricing.NumTiers]float64 // $/read op incl. retrieval (Eq. 7)
+	Write [pricing.NumTiers]float64 // $/write op incl. ingress (Eq. 8)
+	Trans float64                   // tier-change fee (Eq. 9)
+}
+
+// FileCoeffs derives the affine day-cost coefficients of a file of sizeGB.
+func (m *Model) FileCoeffs(sizeGB float64) FileCoeffs {
+	tc := m.Coeffs()
+	var c FileCoeffs
+	for t := 0; t < pricing.NumTiers; t++ {
+		c.Stor[t] = tc.StorPerGBDay[t] * sizeGB
+		c.Read[t] = tc.ReadOp[t] + tc.RetrPerGB[t]*sizeGB
+		c.Write[t] = tc.WriteOp[t] + tc.IngrPerGB[t]*sizeGB
+	}
+	c.Trans = tc.TransPerGB * sizeGB
+	return c
+}
+
+// ServeCost is one day's serving cost (storage + operations, no transition)
+// in tier t — Day(t, t, …).Total() without the trailing zero transition.
+func (c *FileCoeffs) ServeCost(t pricing.Tier, reads, writes float64) float64 {
+	return c.Stor[t] + reads*c.Read[t] + writes*c.Write[t]
+}
+
+// Transition is the tier-change fee; zero when from == to.
+func (c *FileCoeffs) Transition(from, to pricing.Tier) float64 {
+	if from == to {
+		return 0
+	}
+	return c.Trans
+}
+
+// DayTotal is one full day's cost including a possible tier change, grouped
+// exactly like Breakdown.Total(): ((storage+read)+write)+transition.
+func (c *FileCoeffs) DayTotal(prev, t pricing.Tier, reads, writes float64) float64 {
+	return c.ServeCost(t, reads, writes) + c.Transition(prev, t)
+}
 
 // StorageDay returns one day of storage cost for sizeGB bytes in tier (Eq. 6
 // prorated daily).
@@ -137,38 +231,86 @@ func (m *Model) PlanCost(initial pricing.Tier, plan Plan, sizeGB float64, reads,
 	if len(plan) != len(reads) || len(plan) != len(writes) {
 		return Breakdown{}, ErrPlanLength
 	}
-	var total Breakdown
+	c := m.FileCoeffs(sizeGB)
+	return m.planCost(&c, initial, plan, reads, writes, nil), nil
+}
+
+// PlanCumCosts prices a plan like PlanCost and additionally records, in
+// cum[d], the cumulative Breakdown of days 0..d. Because the kernel
+// accumulates components in day order, cum[d-1] is bitwise identical to
+// PlanCost over the plan's first d days — the prefix sums the horizon-sweep
+// evaluation engine reads instead of re-pricing every window.
+func (m *Model) PlanCumCosts(initial pricing.Tier, plan Plan, sizeGB float64, reads, writes []float64, cum []Breakdown) (Breakdown, error) {
+	if len(plan) != len(reads) || len(plan) != len(writes) || len(cum) != len(plan) {
+		return Breakdown{}, ErrPlanLength
+	}
+	c := m.FileCoeffs(sizeGB)
+	return m.planCost(&c, initial, plan, reads, writes, cum), nil
+}
+
+// planCost is the fused pricing kernel behind PlanCost and PlanCumCosts: one
+// flat loop over the plan accumulating the four components as scalars, with
+// per-day costs read off the file's affine coefficients. Lengths are the
+// caller's responsibility. When cum is non-nil it receives the running sums
+// after every day.
+func (m *Model) planCost(c *FileCoeffs, initial pricing.Tier, plan Plan, reads, writes []float64, cum []Breakdown) Breakdown {
+	var storage, read, write, transition float64
 	prev := initial
 	daysInTier := 0
 	for d, tier := range plan {
-		bd := m.Day(prev, tier, sizeGB, reads[d], writes[d])
-		if m.ChargeRetention && tier != prev {
-			if min := m.Policy.Tiers[prev].MinRetentionDays; daysInTier < min {
-				// Bill the unserved remainder as storage-days of the source tier.
-				bd.Transition += float64(min-daysInTier) * m.StorageDay(prev, sizeGB)
+		storage += c.Stor[tier]
+		read += reads[d] * c.Read[tier]
+		write += writes[d] * c.Write[tier]
+		if tier != prev {
+			tc := c.Trans
+			if m.ChargeRetention {
+				if min := m.Policy.Tiers[prev].MinRetentionDays; daysInTier < min {
+					// Bill the unserved remainder as storage-days of the source tier.
+					tc += float64(min-daysInTier) * c.Stor[prev]
+				}
 			}
-			daysInTier = 0
-		}
-		if tier == prev {
-			daysInTier++
-		} else {
+			transition += tc
 			daysInTier = 1
+		} else {
+			daysInTier++
 		}
-		total = total.Add(bd)
 		prev = tier
+		if cum != nil {
+			cum[d] = Breakdown{Storage: storage, Read: read, Write: write, Transition: transition}
+		}
 	}
-	return total, nil
+	return Breakdown{Storage: storage, Read: read, Write: write, Transition: transition}
 }
 
 // Assignment is a full data-storage-type assignment plan: one Plan per file
 // (the paper's action a = (a_0 … a_N)).
 type Assignment []Plan
 
-// UniformAssignment assigns every file the same constant tier.
-func UniformAssignment(tier pricing.Tier, files, days int) Assignment {
+// NewAssignment allocates a files×days assignment whose plans share one
+// contiguous tier arena: one allocation instead of one per file, and the
+// per-file plans stay cache-adjacent. Plans are full slices (capacity capped
+// at days) so appending to one cannot bleed into its neighbour.
+func NewAssignment(files, days int) Assignment {
+	backing := make([]pricing.Tier, files*days)
 	out := make(Assignment, files)
 	for i := range out {
-		out[i] = Uniform(tier, days)
+		out[i] = Plan(backing[i*days : (i+1)*days : (i+1)*days])
+	}
+	return out
+}
+
+// UniformAssignment assigns every file the same constant tier.
+func UniformAssignment(tier pricing.Tier, files, days int) Assignment {
+	out := NewAssignment(files, days)
+	if len(out) == 0 {
+		return out
+	}
+	first := out[0]
+	for d := range first {
+		first[d] = tier
+	}
+	for _, p := range out[1:] {
+		copy(p, first)
 	}
 	return out
 }

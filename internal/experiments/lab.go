@@ -72,6 +72,13 @@ type Lab struct {
 	Test  *trace.Trace
 
 	agent *rl.Agent
+
+	// Memoized single-pass horizon-sweep evaluations of the paper methods on
+	// the test split (see sweep.go): built once, reused by Fig7, Fig8 and
+	// CostBreakdownTable. evalsDays is the horizon the cache covers.
+	evalNames []string
+	evals     map[string]*horizonEval
+	evalsDays int
 }
 
 // NewLab generates the workload and splits it.
@@ -153,10 +160,22 @@ func Hot() policy.Assigner { return policy.Static{Tier: pricing.Hot} }
 // Cold returns the paper's Cold baseline (Azure's cool tier).
 func Cold() policy.Assigner { return policy.Static{Tier: pricing.Cool} }
 
-// evalCost prices an assigner on a trace window.
+// evalCost prices an assigner on a trace window from scratch — the
+// per-window reference path the sweep engine is verified against.
 func (l *Lab) evalCost(a policy.Assigner, tr *trace.Trace) (costmodel.Breakdown, error) {
-	bd, _, err := policy.Evaluate(a, tr, l.Model, pricing.Hot)
-	return bd, err
+	asg, err := a.Assign(tr, l.Model, pricing.Hot)
+	if err != nil {
+		return costmodel.Breakdown{}, fmt.Errorf("policy %s: %w", a.Name(), err)
+	}
+	init := make([]pricing.Tier, tr.NumFiles())
+	for i := range init {
+		init[i] = pricing.Hot
+	}
+	bds, err := l.Model.TraceCost(tr, asg, init, l.Cfg.Workers)
+	if err != nil {
+		return costmodel.Breakdown{}, fmt.Errorf("policy %s: %w", a.Name(), err)
+	}
+	return costmodel.SumBreakdowns(bds), nil
 }
 
 // renderTable writes an aligned table: header row then data rows.

@@ -57,7 +57,7 @@ func Fit(series []float64, p, d, q int) (*Model, error) {
 	if longAR > longARWindow {
 		longAR = longARWindow
 	}
-	minLen := maxInt(p, longAR+q) + maxInt(p+q+2, 8)
+	minLen := max(p, longAR+q) + max(p+q+2, 8)
 	if len(w) < minLen {
 		return nil, fmt.Errorf("forecast: need >= %d differenced observations for ARIMA(%d,%d,%d), have %d",
 			minLen, p, d, q, len(w))
@@ -81,9 +81,9 @@ func Fit(series []float64, p, d, q int) (*Model, error) {
 	}
 
 	// Stage 2: regress w_t on [1, w_{t-1..t-p}, e_{t-1..t-q}].
-	start := maxInt(p, q)
+	start := max(p, q)
 	if q > 0 {
-		start = maxInt(start, longAR+q)
+		start = max(start, longAR+q)
 	}
 	rows := len(w) - start
 	x := mat.New(rows, 1+p+q)
@@ -292,11 +292,4 @@ func Percentile(xs []float64, q float64) float64 {
 		return s[lo]
 	}
 	return s[lo]*(1-frac) + s[lo+1]*frac
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

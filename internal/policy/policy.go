@@ -86,15 +86,18 @@ func (g Greedy) Name() string {
 
 // Assign implements Assigner.
 func (g Greedy) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
-	asg := make(costmodel.Assignment, tr.NumFiles())
+	asg := costmodel.NewAssignment(tr.NumFiles(), tr.Days)
 	par.For(tr.NumFiles(), g.Workers, func(i int) {
-		asg[i] = greedyPlan(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, g.Oracle)
+		c := m.FileCoeffs(tr.Files[i].SizeGB)
+		greedyPlan(asg[i], &c, tr.Reads[i], tr.Writes[i], initial, g.Oracle)
 	})
 	return asg, nil
 }
 
-func greedyPlan(m *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier, oracle bool) costmodel.Plan {
-	plan := make(costmodel.Plan, len(reads))
+// greedyPlan fills dst with the myopic per-day decisions, a flat loop over
+// the file's affine day-cost coefficients (candidate costs are grouped like
+// Breakdown.Total(), so decisions match the per-component Day path exactly).
+func greedyPlan(dst costmodel.Plan, c *costmodel.FileCoeffs, reads, writes []float64, initial pricing.Tier, oracle bool) {
 	cur := initial
 	for d := range reads {
 		// The frequencies the decision is based on: today's own (oracle) or
@@ -104,20 +107,20 @@ func greedyPlan(m *costmodel.Model, sizeGB float64, reads, writes []float64, ini
 		if !oracle && d > 0 {
 			obs = d - 1
 		}
+		r, w := reads[obs], writes[obs]
 		best := cur
-		bestCost := m.Day(cur, cur, sizeGB, reads[obs], writes[obs]).Total()
-		for _, t := range pricing.AllTiers() {
+		bestCost := c.DayTotal(cur, cur, r, w)
+		for t := pricing.Tier(0); t < pricing.NumTiers; t++ {
 			if t == cur {
 				continue
 			}
-			if c := m.Day(cur, t, sizeGB, reads[obs], writes[obs]).Total(); c < bestCost {
-				best, bestCost = t, c
+			if cost := c.DayTotal(cur, t, r, w); cost < bestCost {
+				best, bestCost = t, cost
 			}
 		}
-		plan[d] = best
+		dst[d] = best
 		cur = best
 	}
-	return plan
 }
 
 // Optimal computes the exact offline minimum-cost assignment. Per-file costs
@@ -134,9 +137,9 @@ func (Optimal) Name() string { return "optimal" }
 
 // Assign implements Assigner.
 func (o Optimal) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (costmodel.Assignment, error) {
-	asg := make(costmodel.Assignment, tr.NumFiles())
+	asg := costmodel.NewAssignment(tr.NumFiles(), tr.Days)
 	par.For(tr.NumFiles(), o.Workers, func(i int) {
-		asg[i], _ = OptimalPlan(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial)
+		NewOptimalDP(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial).PlanPrefixInto(asg[i])
 	})
 	return asg, nil
 }
@@ -144,53 +147,102 @@ func (o Optimal) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tie
 // OptimalPlan returns one file's exact minimum-cost plan and its cost.
 func OptimalPlan(m *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier) (costmodel.Plan, float64) {
 	days := len(reads)
-	const nt = pricing.NumTiers
 	if days == 0 {
 		return costmodel.Plan{}, 0
 	}
-	// dp[d][t]: minimum cost of days 0..d with the file in tier t during
-	// day d. from[d][t] backtracks the predecessor tier.
-	dp := make([][nt]float64, days)
-	from := make([][nt]int8, days)
+	o := NewOptimalDP(m, sizeGB, reads, writes, initial)
+	plan := make(costmodel.Plan, days)
+	o.PlanPrefixInto(plan)
+	return plan, o.PrefixCost(days)
+}
 
-	// Per-day, per-tier serving cost (storage + ops, no transition).
-	dayCost := func(d int, t pricing.Tier) float64 {
-		return m.Day(t, t, sizeGB, reads[d], writes[d]).Total()
+// OptimalDP is one file's forward dynamic program retained over the full
+// horizon: dp[d][t] is the minimum cost of days 0..d with the file in tier t
+// during day d, from[d][t] the predecessor tier. The recurrence only looks
+// backward, so the first d rows are bitwise the tables a run over just
+// Window(0, d) would build — one full-horizon pass therefore answers every
+// prefix: PrefixCost(d) is the window's exact optimum and PlanPrefixInto
+// backtracks the window's plan, which is what the horizon-sweep evaluation
+// engine exploits instead of re-running the DP per window.
+type OptimalDP struct {
+	days int
+	dp   [][pricing.NumTiers]float64
+	from [][pricing.NumTiers]int8
+}
+
+// NewOptimalDP runs the forward pass over the whole series, a fused loop
+// over the file's affine day-cost coefficients.
+func NewOptimalDP(m *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier) *OptimalDP {
+	days := len(reads)
+	const nt = pricing.NumTiers
+	o := &OptimalDP{
+		days: days,
+		dp:   make([][nt]float64, days),
+		from: make([][nt]int8, days),
 	}
+	if days == 0 {
+		return o
+	}
+	c := m.FileCoeffs(sizeGB)
 	for t := 0; t < nt; t++ {
-		dp[0][t] = m.TransitionCost(initial, pricing.Tier(t), sizeGB) + dayCost(0, pricing.Tier(t))
-		from[0][t] = int8(initial)
+		tier := pricing.Tier(t)
+		o.dp[0][t] = c.Transition(initial, tier) + c.DayTotal(tier, tier, reads[0], writes[0])
+		o.from[0][t] = int8(initial)
 	}
 	for d := 1; d < days; d++ {
+		r, w := reads[d], writes[d]
 		for t := 0; t < nt; t++ {
 			tier := pricing.Tier(t)
-			serve := dayCost(d, tier)
+			serve := c.DayTotal(tier, tier, r, w)
 			best := -1
 			bestCost := 0.0
 			for p := 0; p < nt; p++ {
-				c := dp[d-1][p] + m.TransitionCost(pricing.Tier(p), tier, sizeGB)
-				if best < 0 || c < bestCost {
-					best, bestCost = p, c
+				cost := o.dp[d-1][p] + c.Transition(pricing.Tier(p), tier)
+				if best < 0 || cost < bestCost {
+					best, bestCost = p, cost
 				}
 			}
-			dp[d][t] = bestCost + serve
-			from[d][t] = int8(best)
+			o.dp[d][t] = bestCost + serve
+			o.from[d][t] = int8(best)
 		}
 	}
-	// Backtrack from the cheapest final tier.
+	return o
+}
+
+// Days returns the horizon the DP covers.
+func (o *OptimalDP) Days() int { return o.days }
+
+// PrefixCost returns min_t dp[days-1][t]: the exact minimum cost of the
+// first days days, bitwise the value a per-window OptimalPlan returns.
+// days must be in [1, Days()].
+func (o *OptimalDP) PrefixCost(days int) float64 {
+	return o.dp[days-1][o.bestLast(days)]
+}
+
+// PlanPrefixInto backtracks the optimal plan of the first len(dst) days into
+// dst — bitwise the plan a per-window OptimalPlan over those days returns
+// (ties break toward the lowest tier index, matching the reference).
+func (o *OptimalDP) PlanPrefixInto(dst costmodel.Plan) {
+	days := len(dst)
+	if days == 0 {
+		return
+	}
+	cur := o.bestLast(days)
+	for d := days - 1; d >= 0; d-- {
+		dst[d] = pricing.Tier(cur)
+		cur = int(o.from[d][cur])
+	}
+}
+
+// bestLast returns the cheapest final tier of the first days days.
+func (o *OptimalDP) bestLast(days int) int {
 	last := 0
-	for t := 1; t < nt; t++ {
-		if dp[days-1][t] < dp[days-1][last] {
+	for t := 1; t < pricing.NumTiers; t++ {
+		if o.dp[days-1][t] < o.dp[days-1][last] {
 			last = t
 		}
 	}
-	plan := make(costmodel.Plan, days)
-	cur := last
-	for d := days - 1; d >= 0; d-- {
-		plan[d] = pricing.Tier(cur)
-		cur = int(from[d][cur])
-	}
-	return plan, dp[days-1][last]
+	return last
 }
 
 // BruteForce enumerates every Γ^D plan per file — the paper's literal

@@ -140,7 +140,9 @@ func TestGreedyChasesVolatileFiles(t *testing.T) {
 			reads[d] = 0 // archive wins the day
 		}
 	}
-	g := greedyPlan(m, 0.1, reads, writes, pricing.Hot, false)
+	g := make(costmodel.Plan, days)
+	c := m.FileCoeffs(0.1)
+	greedyPlan(g, &c, reads, writes, pricing.Hot, false)
 	changes := g.Changes(pricing.Hot)
 	if changes < 4 {
 		t.Fatalf("expected flip-flopping greedy, got %d changes (%v)", changes, g)
@@ -180,7 +182,9 @@ func TestGreedyMovesIdleFilesOutOfHot(t *testing.T) {
 	days := 10
 	reads := make([]float64, days)
 	writes := make([]float64, days)
-	g := greedyPlan(m, 0.1, reads, writes, pricing.Hot, false)
+	g := make(costmodel.Plan, days)
+	c := m.FileCoeffs(0.1)
+	greedyPlan(g, &c, reads, writes, pricing.Hot, false)
 	if g[days-1] != pricing.Archive {
 		t.Fatalf("idle file ends in %v, want archive (%v)", g[days-1], g)
 	}

@@ -49,9 +49,9 @@ func (p Predictive) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.
 	if minHist <= 0 {
 		minHist = 21
 	}
-	asg := make(costmodel.Assignment, tr.NumFiles())
+	asg := costmodel.NewAssignment(tr.NumFiles(), tr.Days)
 	par.For(tr.NumFiles(), p.Workers, func(i int) {
-		plan := make(costmodel.Plan, tr.Days)
+		plan := asg[i]
 		cur := initial
 		size := tr.Files[i].SizeGB
 		for start := 0; start < tr.Days; start += period {
@@ -68,7 +68,6 @@ func (p Predictive) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.
 			}
 			cur = choice
 		}
-		asg[i] = plan
 	})
 	return asg, nil
 }

@@ -80,7 +80,7 @@ func (p RL) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (c
 	if pool == nil {
 		pool = rl.NewReplicaPool(p.Agent)
 	}
-	asg := make(costmodel.Assignment, n)
+	asg := costmodel.NewAssignment(n, tr.Days)
 	reward := mdp.DefaultReward()
 	chunkErrs := make([]error, (n+batch-1)/batch)
 	par.ForBatched(n, batch, p.Workers, func(lo, hi int) {
@@ -103,7 +103,7 @@ func (p RL) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier) (c
 // It is kept as the reference the equivalence property test and the
 // inference benchmarks compare the batched engine against.
 func (p RL) assignSingleSample(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier, histLen int) (costmodel.Assignment, error) {
-	asg := make(costmodel.Assignment, tr.NumFiles())
+	asg := costmodel.NewAssignment(tr.NumFiles(), tr.Days)
 	reward := mdp.DefaultReward()
 	errs := make([]error, tr.NumFiles())
 	par.For(tr.NumFiles(), p.Workers, func(i int) {
@@ -114,7 +114,7 @@ func (p RL) assignSingleSample(tr *trace.Trace, m *costmodel.Model, initial pric
 			errs[i] = err
 			return
 		}
-		plan := make(costmodel.Plan, tr.Days)
+		plan := asg[i]
 		state := env.Reset()
 		for d := 0; d < tr.Days; d++ {
 			tier := agent.Decide(&state)
@@ -126,7 +126,6 @@ func (p RL) assignSingleSample(tr *trace.Trace, m *costmodel.Model, initial pric
 			plan[d] = tier
 			state = next
 		}
-		asg[i] = plan
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,87 @@
+package policy
+
+import (
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+)
+
+// TestOnlinePlansArePrefixStable: every online assigner is causal — its plan
+// over Window(0, d) is bitwise the prefix of its full-horizon plan. This is
+// the property that lets the horizon-sweep evaluation engine assign each
+// method once and read every prefix total off a cumulative cost matrix.
+func TestOnlinePlansArePrefixStable(t *testing.T) {
+	m := costmodel.New(pricing.Azure())
+	net := rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32}
+	agent := rl.NewAgent(net, net.BuildActor(rng.New(11)))
+	assigners := []Assigner{
+		Static{Tier: pricing.Hot},
+		Static{Tier: pricing.Cool},
+		Greedy{},
+		Greedy{Oracle: true},
+		RL{Agent: agent, HistLen: net.HistLen},
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		tr := randomTinyTrace(seed)
+		for _, a := range assigners {
+			full, err := a.Assign(tr, m, pricing.Hot)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
+			}
+			for d := 1; d <= tr.Days; d++ {
+				window, err := tr.Window(0, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				part, err := a.Assign(window, m, pricing.Hot)
+				if err != nil {
+					t.Fatalf("seed %d %s window %d: %v", seed, a.Name(), d, err)
+				}
+				for i := range part {
+					for day := 0; day < d; day++ {
+						if part[i][day] != full[i][day] {
+							t.Fatalf("seed %d %s: file %d day %d: window-%d plan %v != full-plan prefix %v",
+								seed, a.Name(), i, day, d, part[i][day], full[i][day])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOptimalDPPrefixStable: the forward DP only looks backward, so one
+// full-horizon OptimalDP answers every window exactly — PrefixCost(d) is
+// bitwise the per-window optimum and the backtracked prefix plan is bitwise
+// the per-window plan (same tie-breaks).
+func TestOptimalDPPrefixStable(t *testing.T) {
+	m := costmodel.New(pricing.Azure())
+	for seed := uint64(1); seed <= 20; seed++ {
+		tr := randomTinyTrace(seed)
+		initial := pricing.Tier(seed % pricing.NumTiers)
+		for i := range tr.Files {
+			dp := NewOptimalDP(m, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial)
+			if dp.Days() != tr.Days {
+				t.Fatalf("Days %d != %d", dp.Days(), tr.Days)
+			}
+			for d := 1; d <= tr.Days; d++ {
+				wantPlan, wantCost := OptimalPlan(m, tr.Files[i].SizeGB, tr.Reads[i][:d], tr.Writes[i][:d], initial)
+				if got := dp.PrefixCost(d); got != wantCost {
+					t.Fatalf("seed %d file %d horizon %d: PrefixCost %v != per-window optimum %v",
+						seed, i, d, got, wantCost)
+				}
+				gotPlan := make(costmodel.Plan, d)
+				dp.PlanPrefixInto(gotPlan)
+				for day := range gotPlan {
+					if gotPlan[day] != wantPlan[day] {
+						t.Fatalf("seed %d file %d horizon %d day %d: backtracked %v != per-window %v",
+							seed, i, d, day, gotPlan[day], wantPlan[day])
+					}
+				}
+			}
+		}
+	}
+}

@@ -71,7 +71,11 @@ func (a *Agent) DecideTrace(model *costmodel.Model, tr *trace.Trace, lo, hi int,
 		}
 		envs[i] = env
 		states[i] = env.Reset()
-		out[lo+i] = make(costmodel.Plan, tr.Days)
+		// Reuse a caller-provided plan (e.g. an arena-backed assignment slot)
+		// when it already has the right length.
+		if len(out[lo+i]) != tr.Days {
+			out[lo+i] = make(costmodel.Plan, tr.Days)
+		}
 	}
 	for d := 0; d < tr.Days; d++ {
 		for i := range envs {
