@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-inference bench-training bench-evaluation
+.PHONY: build test check smoke-serve bench-inference bench-training bench-evaluation
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ check:
 	fi
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# smoke-serve boots minicostd with a tiny bootstrap agent, exercises
+# observe -> plan, and asserts /healthz answers and /metrics exposes the
+# serving, training, and simulation metric families.
+smoke-serve:
+	sh scripts/smoke_serve.sh
 
 # bench-inference regenerates BENCH_inference.json (single-sample vs batched
 # engine at the paper and Quick configs).

@@ -6,23 +6,37 @@
 // The agent comes from a checkpoint written by `minicost-train` (or any
 // code calling rl.Agent.Save); without one, minicostd bootstraps by
 // training on a synthetic workload so the service is demonstrable out of
-// the box.
+// the box, then replays the bootstrapped policy against the cloudsim store
+// so the simulated bill is visible on /metrics.
+//
+// The daemon enables the process-wide obs registry: /metrics exposes the
+// serving, training, and simulation metric families in Prometheus text
+// format, /healthz answers liveness, and -pprof mounts the standard
+// /debug/pprof handlers. SIGINT/SIGTERM drain in-flight requests through
+// server.Shutdown before exit.
 //
 // Usage:
 //
 //	minicostd -checkpoint agent.ckpt -addr :8080
 //	minicostd -bootstrap-steps 200000 -save agent.ckpt
+//	minicostd -pprof -drain 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"minicost/internal/agentserver"
 	"minicost/internal/core"
+	"minicost/internal/obs"
 	"minicost/internal/pricing"
 	"minicost/internal/rl"
 	"minicost/internal/trace"
@@ -36,8 +50,15 @@ func main() {
 		steps      = flag.Int64("bootstrap-steps", 200000, "training steps when bootstrapping without a checkpoint")
 		filters    = flag.Int("filters", 32, "conv filters when bootstrapping")
 		hidden     = flag.Int("hidden", 64, "hidden neurons when bootstrapping")
+		metrics    = flag.Bool("metrics", true, "enable the obs registry and serve /metrics")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof handlers")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
+
+	// Turn the default-off registry on before bootstrapping so the training
+	// and simulation instruments record from the first step.
+	obs.Default().SetEnabled(*metrics)
 
 	agent, err := loadOrBootstrap(*checkpoint, *steps, *filters, *hidden)
 	if err != nil {
@@ -61,19 +82,59 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	if *metrics {
+		mux.Handle("/metrics", obs.Handler())
+	}
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
 	fmt.Fprintf(os.Stderr, "minicostd: serving on %s (hist window %d days)\n", *addr, agent.Net.HistLen)
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	if err := server.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: first SIGINT/SIGTERM drains in-flight requests for
+	// up to -drain; a second signal (NotifyContext restores the default
+	// handlers once fired) kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintf(os.Stderr, "minicostd: shutting down (drain %s)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		drained <- server.Shutdown(sctx)
+	}()
+
+	if err := server.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	if err := <-drained; err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "minicostd: bye")
 }
 
 // loadOrBootstrap loads a checkpoint or trains a fresh agent on a synthetic
-// workload.
+// workload; after bootstrapping it replays the policy against the cloudsim
+// store so the run's simulated bill lands on /metrics.
 func loadOrBootstrap(path string, steps int64, filters, hidden int) (*rl.Agent, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -109,6 +170,12 @@ func loadOrBootstrap(path string, steps int64, filters, hidden int) (*rl.Agent, 
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "minicostd: bootstrapped in %s\n", time.Since(start).Round(time.Second))
+	report, err := sys.Run(tr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "minicostd: bootstrap eval: simulated bill $%.4f over %d days (%d tier changes)\n",
+		report.Total.Total(), tr.Days, report.TierChanges)
 	return sys.Agent(), nil
 }
 

@@ -1,0 +1,183 @@
+package agentserver
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"minicost/internal/obs"
+	"minicost/internal/pricing"
+)
+
+// withMetrics enables the default registry for one test and restores the
+// default-off state afterwards. Assertions use deltas: the registry is
+// process-global and other tests in this binary may have advanced it.
+func withMetrics(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.Default()
+	was := reg.Enabled()
+	reg.SetEnabled(true)
+	t.Cleanup(func() { reg.SetEnabled(was) })
+	return reg
+}
+
+// TestRequestMetricsAdvance asserts the serving instruments move across an
+// observe→plan round trip — the Snapshot-based counterpart of scraping
+// /metrics, exercised under -race by `make check`.
+func TestRequestMetricsAdvance(t *testing.T) {
+	reg := withMetrics(t)
+	_, c := newTestServer(t)
+	before := reg.Snapshot()
+
+	for d := 0; d < 3; d++ {
+		if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{
+			obsv("a", 100), obsv("b", 1),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot()
+
+	delta := func(id string) float64 { return after.Counter(id) - before.Counter(id) }
+	if got := delta(`minicost_http_requests_total{endpoint="observe",status="ok"}`); got != 3 {
+		t.Errorf("observe ok requests delta = %v, want 3", got)
+	}
+	if got := delta(`minicost_http_requests_total{endpoint="plan",status="ok"}`); got != 1 {
+		t.Errorf("plan ok requests delta = %v, want 1", got)
+	}
+	if got := delta("minicost_serve_observations_total"); got != 6 {
+		t.Errorf("observations delta = %v, want 6", got)
+	}
+	if got := delta("minicost_serve_plans_total"); got != 1 {
+		t.Errorf("plans delta = %v, want 1", got)
+	}
+	if got := after.Gauge("minicost_serve_tracked_files"); got != 2 {
+		t.Errorf("tracked files = %v, want 2", got)
+	}
+	hPlan := after.Histogram("minicost_serve_plan_seconds")
+	if hPlan.Count <= before.Histogram("minicost_serve_plan_seconds").Count {
+		t.Error("plan generation histogram did not advance")
+	}
+	hLat := after.Histogram(`minicost_http_request_seconds{endpoint="plan"}`)
+	if hLat.Count == 0 || math.IsNaN(hLat.Quantile(0.5)) {
+		t.Errorf("plan latency histogram empty: %+v", hLat)
+	}
+	// Staleness is finite (and tiny) right after a plan.
+	if st := after.Gauge("minicost_serve_plan_staleness_seconds"); math.IsNaN(st) || st < 0 || st > 60 {
+		t.Errorf("plan staleness = %v", st)
+	}
+	// Failed requests land on the error counter, not ok.
+	if _, err := c.Observe(&ObserveRequest{}); err == nil {
+		t.Fatal("empty observe accepted")
+	}
+	final := reg.Snapshot()
+	if got := final.Counter(`minicost_http_requests_total{endpoint="observe",status="error"}`) -
+		before.Counter(`minicost_http_requests_total{endpoint="observe",status="error"}`); got != 1 {
+		t.Errorf("observe error requests delta = %v, want 1", got)
+	}
+}
+
+func TestObserveRejectsNonJSONContentType(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/observe", "text/plain", strings.NewReader(`{"files":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain observe = %d, want 415", resp.StatusCode)
+	}
+	// JSON with parameters and +json suffixes stay accepted.
+	for _, ct := range []string{"application/json; charset=utf-8", "application/ld+json"} {
+		resp, err := http.Post(ts.URL+"/v1/observe", ct,
+			strings.NewReader(`{"files":[{"id":"x","size_gb":0.1,"reads":1,"writes":0}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s observe = %d, want 200", ct, resp.StatusCode)
+		}
+	}
+}
+
+func TestObserveBodyCap(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// A syntactically valid but oversized body: the cap must trip with 413
+	// before the decoder finishes.
+	var buf bytes.Buffer
+	buf.WriteString(`{"files":[`)
+	row := `{"id":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx","size_gb":0.1,"reads":1,"writes":1}`
+	for buf.Len() < MaxObserveBytes+(1<<16) {
+		buf.WriteString(row)
+		buf.WriteString(",")
+	}
+	buf.WriteString(row + `]}`)
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized observe = %d, want 413", resp.StatusCode)
+	}
+}
+
+// BenchmarkObsOverhead is the tentpole's benchmark guard: the same
+// observe/plan server paths with the default registry disabled (the state
+// every non-daemon binary runs in) versus enabled. The disabled rows are
+// the regression gate — they must match pre-instrumentation cost, since
+// each metric op is one atomic load.
+func BenchmarkObsOverhead(b *testing.B) {
+	reg := obs.Default()
+	was := reg.Enabled()
+	b.Cleanup(func() { reg.SetEnabled(was) })
+
+	files := make([]FileObservation, 256)
+	for i := range files {
+		files[i] = FileObservation{ID: "f" + itoa(i), SizeGB: 0.1, Reads: float64(i), Writes: 1}
+	}
+	newServer := func(b *testing.B) *Server {
+		s, err := New(testAgent(), pricing.Hot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for d := 0; d < 7; d++ {
+			if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	for _, mode := range []struct {
+		name    string
+		enabled bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run("observe-"+mode.name, func(b *testing.B) {
+			reg.SetEnabled(mode.enabled)
+			s := newServer(b)
+			req := &ObserveRequest{Files: files}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.observe(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("plan-"+mode.name, func(b *testing.B) {
+			reg.SetEnabled(mode.enabled)
+			s := newServer(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.plan(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -14,7 +14,7 @@ func feedWeek(t *testing.T, s *Server, n int) {
 	t.Helper()
 	files := make([]FileObservation, n)
 	for i := range files {
-		files[i] = obs("f"+itoa(i), float64(i*13%997))
+		files[i] = obsv("f"+itoa(i), float64(i*13%997))
 	}
 	for d := 0; d < 7; d++ {
 		if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {

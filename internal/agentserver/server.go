@@ -15,16 +15,24 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"minicost/internal/mat"
 	"minicost/internal/mdp"
+	"minicost/internal/obs"
 	"minicost/internal/pricing"
 	"minicost/internal/rl"
 )
+
+// MaxObserveBytes caps a /v1/observe request body; larger payloads are
+// rejected with 413 before decoding. At ~100 bytes per file observation
+// this admits batches of ~80k files per day, far above the serving targets.
+const MaxObserveBytes = 8 << 20
 
 // FileObservation is one file's daily measurement.
 type FileObservation struct {
@@ -103,6 +111,36 @@ type Server struct {
 	observations int64
 	plansServed  int64
 	lastPlanMS   float64
+	lastPlanAt   time.Time
+
+	met serveMetrics
+}
+
+// serveMetrics are the server's obs instruments (DESIGN.md §12). They live
+// in the default registry, which is off outside daemons, so recording costs
+// one atomic load per op in tests and examples.
+type serveMetrics struct {
+	observations *obs.Counter
+	plans        *obs.Counter
+	transitions  *obs.Counter
+	tracked      *obs.Gauge
+	planGen      *obs.Timer
+}
+
+func newServeMetrics() serveMetrics {
+	reg := obs.Default()
+	return serveMetrics{
+		observations: reg.Counter("minicost_serve_observations_total",
+			"Per-file daily observations ingested via /v1/observe."),
+		plans: reg.Counter("minicost_serve_plans_total",
+			"Assignment plans generated via /v1/plan."),
+		transitions: reg.Counter("minicost_serve_transitions_total",
+			"Tier transitions the generated plans asked the operator to execute."),
+		tracked: reg.Gauge("minicost_serve_tracked_files",
+			"Files currently tracked by the agent server."),
+		planGen: reg.Timer("minicost_serve_plan_seconds",
+			"Plan generation time: state snapshot, batched forward pass, commit."),
+	}
 }
 
 // New builds a server around a trained agent. Files start in initial
@@ -114,12 +152,27 @@ func New(agent *rl.Agent, initial pricing.Tier) (*Server, error) {
 	if !initial.Valid() {
 		return nil, errors.New("agentserver: invalid initial tier")
 	}
-	return &Server{
+	s := &Server{
 		pool:    rl.NewReplicaPool(agent.Clone()),
 		histLen: agent.Net.HistLen,
 		initial: initial,
 		files:   make(map[string]*fileState),
-	}, nil
+		met:     newServeMetrics(),
+	}
+	// Plan staleness is derived at scrape time; NaN until the first plan.
+	// Registered per server, newest instance wins (one server per daemon).
+	obs.Default().GaugeFunc("minicost_serve_plan_staleness_seconds",
+		"Seconds since the last plan was generated (NaN before the first).",
+		func() float64 {
+			s.mu.Lock()
+			at := s.lastPlanAt
+			s.mu.Unlock()
+			if at.IsZero() {
+				return math.NaN()
+			}
+			return time.Since(at).Seconds()
+		})
+	return s, nil
 }
 
 // UpdateAgent swaps in a fresh training snapshot. Pooled replicas of the
@@ -162,6 +215,8 @@ func (s *Server) observe(req *ObserveRequest) (*ObserveResponse, error) {
 		s.observations++
 	}
 	s.day++
+	s.met.observations.Add(float64(len(req.Files)))
+	s.met.tracked.Set(float64(len(s.files)))
 	return &ObserveResponse{Accepted: len(req.Files), Tracked: len(s.files)}, nil
 }
 
@@ -182,6 +237,7 @@ func appendWindow(w []float64, v float64, histLen int) []float64 {
 // part — runs on a pooled replica with the lock released, so observation
 // ingestion and other plan requests are never blocked behind inference.
 func (s *Server) plan() (*PlanResponse, error) {
+	sw := s.met.planGen.Start()
 	start := time.Now()
 	s.mu.Lock()
 	if len(s.files) == 0 {
@@ -234,6 +290,11 @@ func (s *Server) plan() (*PlanResponse, error) {
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.plansServed++
 	s.lastPlanMS = resp.ElapsedMS
+	s.lastPlanAt = time.Now()
+	s.met.plans.Inc()
+	s.met.transitions.Add(float64(resp.Transition))
+	s.met.tracked.Set(float64(len(s.files)))
+	sw.Stop()
 	return resp, nil
 }
 
@@ -275,15 +336,32 @@ func (s *Server) stats() *StatsResponse {
 //	GET  /v1/plan     current assignment plan (commits decisions)
 //	GET  /v1/stats    counters
 //	GET  /v1/healthz  liveness
+//
+// Every endpoint is instrumented: request counts by endpoint and outcome
+// (minicost_http_requests_total) and a latency histogram per endpoint
+// (minicost_http_request_seconds).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/observe", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/observe", instrument("observe", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, "POST required")
 			return
 		}
+		// Reject declared non-JSON payloads up front with 415 rather than a
+		// confusing decode error; an absent Content-Type is tolerated.
+		if ct := r.Header.Get("Content-Type"); ct != "" && !isJSONContentType(ct) {
+			httpError(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxObserveBytes)
 		var req ObserveRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("observation batch exceeds %d bytes", MaxObserveBytes))
+				return
+			}
 			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
 			return
 		}
@@ -293,8 +371,8 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/plan", instrument("plan", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET required")
 			return
@@ -305,15 +383,62 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/stats", instrument("stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.stats())
-	})
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/healthz", instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
+	}))
 	return mux
+}
+
+// isJSONContentType accepts application/json with optional parameters
+// (charset) and +json suffixed types.
+func isJSONContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.ToLower(strings.TrimSpace(ct))
+	return ct == "application/json" || strings.HasSuffix(ct, "+json")
+}
+
+// instrument wraps an endpoint handler with its request counters and
+// latency histogram. Metrics are looked up once at mux construction, not
+// per request.
+func instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reg := obs.Default()
+	ok := reg.Counter("minicost_http_requests_total",
+		"HTTP requests served, by endpoint and outcome.",
+		obs.L("endpoint", endpoint), obs.L("status", "ok"))
+	failed := reg.Counter("minicost_http_requests_total",
+		"HTTP requests served, by endpoint and outcome.",
+		obs.L("endpoint", endpoint), obs.L("status", "error"))
+	lat := reg.Timer("minicost_http_request_seconds",
+		"HTTP request latency by endpoint.", obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := lat.Start()
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		h(cw, r)
+		sw.Stop()
+		if cw.code >= 400 {
+			failed.Inc()
+		} else {
+			ok.Inc()
+		}
+	}
+}
+
+// codeWriter captures the response status for the outcome counters.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 type errorBody struct {

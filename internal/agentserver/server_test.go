@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client) {
 	return ts, NewClient(ts.URL)
 }
 
-func obs(id string, reads float64) FileObservation {
+func obsv(id string, reads float64) FileObservation {
 	return FileObservation{ID: id, SizeGB: 0.1, Reads: reads, Writes: reads * 0.01}
 }
 
@@ -37,8 +37,8 @@ func TestObserveAndPlan(t *testing.T) {
 	// Feed a week of observations for two files.
 	for d := 0; d < 7; d++ {
 		resp, err := c.Observe(&ObserveRequest{Files: []FileObservation{
-			obs("busy", 5000),
-			obs("idle", 0.001),
+			obsv("busy", 5000),
+			obsv("idle", 0.001),
 		}})
 		if err != nil {
 			t.Fatal(err)
@@ -144,7 +144,7 @@ func TestHTTPMethodsAndHealth(t *testing.T) {
 
 func TestConcurrentObserveAndPlan(t *testing.T) {
 	_, c := newTestServer(t)
-	if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{obs("seed", 1)}}); err != nil {
+	if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{obsv("seed", 1)}}); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -155,8 +155,8 @@ func TestConcurrentObserveAndPlan(t *testing.T) {
 			for i := 0; i < 20; i++ {
 				if w%2 == 0 {
 					if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{
-						obs("seed", float64(i)),
-						obs("other", 100),
+						obsv("seed", float64(i)),
+						obsv("other", 100),
 					}}); err != nil {
 						t.Error(err)
 						return
@@ -212,7 +212,7 @@ func BenchmarkPlan1kFiles(b *testing.B) {
 	}
 	files := make([]FileObservation, 1000)
 	for i := range files {
-		files[i] = obs("f"+itoa(i), float64(i))
+		files[i] = obsv("f"+itoa(i), float64(i))
 	}
 	for d := 0; d < 7; d++ {
 		if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {

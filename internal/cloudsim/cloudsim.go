@@ -13,9 +13,35 @@ import (
 	"fmt"
 
 	"minicost/internal/costmodel"
+	"minicost/internal/obs"
 	"minicost/internal/pricing"
 	"minicost/internal/trace"
 )
+
+// simMetrics are the simulator's obs instruments (DESIGN.md §12), shared by
+// every Store in the process and registered eagerly so the sim family is
+// visible on /metrics from process start. The default registry is off
+// outside daemons, so the per-day recording costs one atomic load each.
+var simMet = func() (m struct {
+	tierChanges *obs.Counter
+	readOps     *obs.Counter
+	writeOps    *obs.Counter
+	days        *obs.Counter
+	accrued     *obs.Gauge
+}) {
+	reg := obs.Default()
+	m.tierChanges = reg.Counter("minicost_sim_tier_changes_total",
+		"Executed tier transitions across all simulated stores.")
+	m.readOps = reg.Counter("minicost_sim_read_ops_total",
+		"Read requests served by the simulated stores.")
+	m.writeOps = reg.Counter("minicost_sim_write_ops_total",
+		"Write requests served by the simulated stores.")
+	m.days = reg.Counter("minicost_sim_days_total",
+		"Simulated billing days served across all stores.")
+	m.accrued = reg.Gauge("minicost_sim_accrued_cost_dollars",
+		"Cumulative simulated bill (all four Eq. 5 components) across all stores.")
+	return m
+}()
 
 // ObjectID identifies an object (file or replica) inside a Store.
 type ObjectID int
@@ -162,6 +188,7 @@ func (s *Store) SetTier(id ObjectID, tier pricing.Tier) error {
 	}
 	s.pendingTransition += s.model.TransitionCost(o.Tier, tier, o.SizeGB)
 	o.Tier = tier
+	simMet.tierChanges.Inc()
 	return nil
 }
 
@@ -174,6 +201,7 @@ func (s *Store) ServeDay(reads, writes []float64) (costmodel.Breakdown, error) {
 	var bd costmodel.Breakdown
 	bd.Transition = s.pendingTransition
 	s.pendingTransition = 0
+	var rSum, wSum float64
 	for id := range s.objects {
 		o := &s.objects[id]
 		r, w := at(reads, id), at(writes, id)
@@ -186,12 +214,18 @@ func (s *Store) ServeDay(reads, writes []float64) (costmodel.Breakdown, error) {
 		if r < 0 || w < 0 {
 			return costmodel.Breakdown{}, fmt.Errorf("cloudsim: negative request count for object %d", id)
 		}
+		rSum += r
+		wSum += w
 		bd.Storage += s.model.StorageDay(o.Tier, o.SizeGB)
 		bd.Read += s.model.ReadCost(o.Tier, o.SizeGB, r)
 		bd.Write += s.model.WriteCost(o.Tier, o.SizeGB, w)
 	}
 	s.ledger = append(s.ledger, bd)
 	s.day++
+	simMet.days.Inc()
+	simMet.readOps.Add(rSum)
+	simMet.writeOps.Add(wSum)
+	simMet.accrued.Add(bd.Total())
 	return bd, nil
 }
 

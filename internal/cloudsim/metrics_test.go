@@ -1,0 +1,53 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+
+	"minicost/internal/obs"
+	"minicost/internal/pricing"
+)
+
+// TestSimMetricsAdvance drives a store with the default registry enabled
+// and asserts the sim instruments track ops and accrued cost. Deltas, not
+// absolutes — the registry is process-global.
+func TestSimMetricsAdvance(t *testing.T) {
+	reg := obs.Default()
+	was := reg.Enabled()
+	reg.SetEnabled(true)
+	t.Cleanup(func() { reg.SetEnabled(was) })
+
+	before := reg.Snapshot()
+	s := newStore()
+	a := s.AddObject(0.1, pricing.Hot)
+	s.AddObject(0.2, pricing.Cool)
+	if err := s.SetTier(a, pricing.Archive); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTier(a, pricing.Archive); err != nil { // no-op: same tier
+		t.Fatal(err)
+	}
+	bd, err := s.ServeDay([]float64{100, 50}, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot()
+
+	delta := func(id string) float64 { return after.Counter(id) - before.Counter(id) }
+	if got := delta("minicost_sim_tier_changes_total"); got != 1 {
+		t.Errorf("tier changes delta = %v, want 1 (no-op SetTier must not count)", got)
+	}
+	if got := delta("minicost_sim_read_ops_total"); got != 150 {
+		t.Errorf("read ops delta = %v, want 150", got)
+	}
+	if got := delta("minicost_sim_write_ops_total"); got != 3 {
+		t.Errorf("write ops delta = %v, want 3", got)
+	}
+	if got := delta("minicost_sim_days_total"); got != 1 {
+		t.Errorf("days delta = %v, want 1", got)
+	}
+	accrued := after.Gauge("minicost_sim_accrued_cost_dollars") - before.Gauge("minicost_sim_accrued_cost_dollars")
+	if math.Abs(accrued-bd.Total()) > 1e-12 {
+		t.Errorf("accrued cost delta = %v, want %v", accrued, bd.Total())
+	}
+}

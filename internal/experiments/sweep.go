@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"minicost/internal/costmodel"
+	"minicost/internal/obs"
 	"minicost/internal/par"
 	"minicost/internal/policy"
 	"minicost/internal/pricing"
@@ -148,8 +149,14 @@ func buildEvals(entries []evalEntry, m *costmodel.Model, initial pricing.Tier, w
 	pool := par.NewPool(min(poolSize, len(entries)))
 	for i, en := range entries {
 		i, en := i, en
+		// One duration histogram per method: how long each assigner's
+		// single-pass horizon evaluation takes to build.
+		lat := obs.Default().Timer("minicost_eval_build_seconds",
+			"Single-pass horizon-eval build time, by method.", obs.L("method", en.a.Name()))
 		pool.Submit(func() {
+			sw := lat.Start()
 			evals[i], errs[i] = newHorizonEval(en.a, en.tr, m, initial, workers)
+			sw.Stop()
 		})
 	}
 	pool.Close()
@@ -177,8 +184,12 @@ type evalEntry struct {
 // (a duplicate would silently double-append into one series).
 func (l *Lab) methodEvals(days int) ([]string, map[string]*horizonEval, error) {
 	if l.evals != nil && l.evalsDays >= days {
+		obs.Default().Counter("minicost_eval_memo_hits_total",
+			"methodEvals calls answered from the memoized horizon evaluations.").Inc()
 		return l.evalNames, l.evals, nil
 	}
+	obs.Default().Counter("minicost_eval_memo_misses_total",
+		"methodEvals calls that had to (re)build the horizon evaluations.").Inc()
 	assigners, err := l.assigners(true)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// This file renders a registry in the Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers once per family, then one
+// sample line per value; histograms expand to cumulative `_bucket{le=…}`
+// series plus `_sum` and `_count`.
+
+// WritePrometheus writes the registry's current state to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	r.mu.Lock()
+	ids := append([]metricID(nil), r.order...)
+	ms := make([]metric, len(ids))
+	helps := make([]string, len(ids))
+	for i, id := range ids {
+		ms[i] = r.metrics[id]
+		helps[i] = r.metrics[id].help()
+	}
+	r.mu.Unlock()
+
+	// Group by family: the format requires all samples of one family to be
+	// contiguous under a single TYPE header. Registration order decides
+	// family order; labels sort within a family for stable output.
+	type member struct {
+		m    metric
+		help string
+	}
+	families := map[string][]member{}
+	var famOrder []string
+	for i, m := range ms {
+		name := m.id().name
+		if _, ok := families[name]; !ok {
+			famOrder = append(famOrder, name)
+		}
+		families[name] = append(families[name], member{m, helps[i]})
+	}
+
+	for _, name := range famOrder {
+		members := families[name]
+		sort.Slice(members, func(i, j int) bool {
+			return members[i].m.id().labels < members[j].m.id().labels
+		})
+		if h := members[0].help; h != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typeOf(members[0].m))
+		for _, mem := range members {
+			writeMetric(bw, mem.m)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeOf(m metric) string {
+	switch m.(type) {
+	case *Counter:
+		return "counter"
+	case *Gauge, *gaugeFunc:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+func writeMetric(w io.Writer, m metric) {
+	id := m.id()
+	switch v := m.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s %s\n", id, formatValue(v.Value()))
+	case *Gauge:
+		fmt.Fprintf(w, "%s %s\n", id, formatValue(v.Value()))
+	case *gaugeFunc:
+		val := math.NaN()
+		if fn := v.fn.Load(); fn != nil {
+			val = (*fn)()
+		}
+		fmt.Fprintf(w, "%s %s\n", id, formatValue(val))
+	case *Histogram:
+		hs := v.snapshotMerged()
+		cum := uint64(0)
+		for i, c := range hs.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(hs.Bounds) {
+				le = formatValue(hs.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s %d\n", sampleID(id.name+"_bucket", id.labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(w, "%s %s\n", sampleID(id.name+"_sum", id.labels, ""), formatValue(hs.Sum))
+		fmt.Fprintf(w, "%s %d\n", sampleID(id.name+"_count", id.labels, ""), hs.Count)
+	}
+}
+
+// sampleID renders name{labels,extra} with empty parts elided.
+func sampleID(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format, for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler returns the Default registry's exposition handler.
+func Handler() http.Handler { return Default().Handler() }

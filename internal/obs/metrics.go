@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// meta is the part every metric shares: identity plus the registry whose
+// enabled flag gates recording.
+type meta struct {
+	mid   metricID
+	mhelp string
+	reg   *Registry
+}
+
+func (m *meta) id() metricID { return m.mid }
+func (m *meta) help() string { return m.mhelp }
+
+// on is the hot-path gate: one atomic load. Disabled registries make every
+// metric op an early return.
+func (m *meta) on() bool { return m.reg.on.Load() }
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing value (float64, Prometheus
+// semantics: operation counts, accumulated work). Negative increments are a
+// programming error and are dropped.
+type Counter struct {
+	meta
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments by v (v < 0 is ignored).
+func (c *Counter) Add(v float64) {
+	if !c.on() || v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) collect(s *Snapshot) { s.Counters[c.mid.String()] = c.Value() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	meta
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if !g.on() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments by v (negative v decrements).
+func (g *Gauge) Add(v float64) {
+	if !g.on() {
+		return
+	}
+	addFloat(&g.bits, v)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) collect(s *Snapshot) { s.Gauges[g.mid.String()] = g.Value() }
+
+// gaugeFunc is a gauge computed by a callback at collection time.
+type gaugeFunc struct {
+	meta
+	fn atomic.Pointer[func() float64]
+}
+
+func (g *gaugeFunc) collect(s *Snapshot) {
+	v := math.NaN()
+	if fn := g.fn.Load(); fn != nil {
+		v = (*fn)()
+	}
+	s.Gauges[g.mid.String()] = v
+}
+
+// DefSecondsBuckets are the default duration buckets: 100 µs to 100 s,
+// roughly ×2.5 per step — wide enough for sub-millisecond plan decisions
+// and multi-second training epochs alike.
+var DefSecondsBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// LinearBuckets returns n bounds start, start+width, ….
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds start, start·factor, ….
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// histShards is the fixed shard count. Sharding exists to keep concurrent
+// writers (A3C workers, HTTP handlers) off one cache line; 16 covers the
+// worker counts this repo runs with, and merge cost at scrape stays trivial.
+const histShards = 16
+
+// histShard is one writer lane, padded to its own cache lines so writers on
+// different shards never false-share.
+type histShard struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	buckets []atomic.Uint64 // len(bounds)+1, last is the +Inf overflow
+	_       [64]byte
+}
+
+// Histogram is a fixed-bucket histogram with sharded atomic cells: Observe
+// takes no lock — it picks a shard keyed off the calling goroutine's stack
+// and does three atomic adds. Scrapes merge the shards.
+type Histogram struct {
+	meta
+	bounds []float64
+	shards [histShards]histShard
+}
+
+func newHistogram(m meta, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefSecondsBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{meta: m, bounds: append([]float64(nil), bounds...)}
+	for i := range h.shards {
+		h.shards[i].buckets = make([]atomic.Uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// shardIndex spreads concurrent writers across shards by hashing the
+// caller's stack address: goroutines live on distinct stacks, so distinct
+// goroutines land on distinct cache lines with high probability, while one
+// goroutine keeps hitting its own warm shard. Purely a performance hint —
+// any distribution is correct.
+func shardIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) % histShards
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if !h.on() {
+		return
+	}
+	// Linear scan: bucket lists are short (≤ ~20) and almost always hit in
+	// the first few entries for latency-shaped data.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	sh := &h.shards[shardIndex()]
+	sh.buckets[i].Add(1)
+	sh.count.Add(1)
+	addFloat(&sh.sumBits, v)
+}
+
+// snapshotMerged merges the shards into one HistSnapshot.
+func (h *Histogram) snapshotMerged() HistSnapshot {
+	hs := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		hs.Count += sh.count.Load()
+		hs.Sum += math.Float64frombits(sh.sumBits.Load())
+		for j := range hs.Counts {
+			hs.Counts[j] += sh.buckets[j].Load()
+		}
+	}
+	return hs
+}
+
+func (h *Histogram) collect(s *Snapshot) { s.Histograms[h.mid.String()] = h.snapshotMerged() }
+
+// HistSnapshot is a merged point-in-time view of a Histogram.
+type HistSnapshot struct {
+	Count  uint64
+	Sum    float64
+	Bounds []float64 // upper bounds; Counts has one extra +Inf slot
+	Counts []uint64  // per-bucket (non-cumulative) observation counts
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) estimated by linear
+// interpolation inside the bucket containing it — the same estimate
+// Prometheus's histogram_quantile computes. Returns NaN on an empty
+// histogram; values in the +Inf bucket report the highest finite bound.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum >= rank {
+			if i >= len(h.Bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				if len(h.Bounds) == 0 {
+					return math.NaN()
+				}
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			frac := (rank - (cum - float64(c))) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Timer records durations into a seconds histogram.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records d.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Start begins a stopwatch. On a disabled registry it skips the clock read
+// entirely and Stop is a no-op, keeping the instrumented path free.
+func (t *Timer) Start() Stopwatch {
+	if !t.h.on() {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, start: time.Now()}
+}
+
+// Stopwatch is a value-type in-flight timing; zero value Stop is a no-op.
+type Stopwatch struct {
+	t     *Timer
+	start time.Time
+}
+
+// Stop records the elapsed time since Start.
+func (s Stopwatch) Stop() {
+	if s.t == nil {
+		return
+	}
+	s.t.Observe(time.Since(s.start))
+}
+
+// Snapshot is a programmatic point-in-time view of a registry, keyed by the
+// rendered sample id (`name` or `name{label="v"}`).
+type Snapshot struct {
+	Counters   map[string]float64
+	Gauges     map[string]float64
+	Histograms map[string]HistSnapshot
+}
+
+// Counter returns a counter's value (0 if absent).
+func (s *Snapshot) Counter(id string) float64 { return s.Counters[id] }
+
+// Gauge returns a gauge's value (0 if absent).
+func (s *Snapshot) Gauge(id string) float64 { return s.Gauges[id] }
+
+// Histogram returns a histogram snapshot (zero value if absent).
+func (s *Snapshot) Histogram(id string) HistSnapshot { return s.Histograms[id] }
+
+// CounterFamily sums every counter whose family name matches (labels
+// ignored) — handy for asserting "some requests were counted" without
+// enumerating label sets.
+func (s *Snapshot) CounterFamily(name string) float64 {
+	total := 0.0
+	for id, v := range s.Counters {
+		if familyOf(id) == name {
+			total += v
+		}
+	}
+	return total
+}
+
+func familyOf(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '{' {
+			return id[:i]
+		}
+	}
+	return id
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // dropped: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_level", "level")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %v, want 6", got)
+	}
+	// Lookup-or-create returns the same instance.
+	if r.Counter("test_ops_total", "ops") != c {
+		t.Fatal("counter re-registration returned a new instance")
+	}
+	if r.Gauge("test_level", "level") != g {
+		t.Fatal("gauge re-registration returned a new instance")
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(false)
+	c := r.Counter("test_ops_total", "")
+	g := r.Gauge("test_level", "")
+	h := r.Histogram("test_h", "", LinearBuckets(1, 1, 4))
+	tm := r.Timer("test_t_seconds", "")
+	c.Inc()
+	g.Set(5)
+	h.Observe(2)
+	sw := tm.Start()
+	sw.Stop()
+	tm.Observe(time.Second)
+	s := r.Snapshot()
+	if s.Counter("test_ops_total") != 0 || s.Gauge("test_level") != 0 {
+		t.Fatalf("disabled registry recorded: %+v", s)
+	}
+	if s.Histogram("test_h").Count != 0 || s.Histogram("test_t_seconds").Count != 0 {
+		t.Fatal("disabled histogram recorded")
+	}
+	// Re-enabled: ops record again.
+	r.SetEnabled(true)
+	c.Inc()
+	if r.Snapshot().Counter("test_ops_total") != 1 {
+		t.Fatal("re-enabled counter did not record")
+	}
+}
+
+func TestLabelsAndIDs(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "requests", L("endpoint", "plan"))
+	b := r.Counter("reqs_total", "requests", L("endpoint", "observe"))
+	if a == b {
+		t.Fatal("distinct label sets shared an instance")
+	}
+	a.Add(2)
+	b.Inc()
+	s := r.Snapshot()
+	if s.Counter(`reqs_total{endpoint="plan"}`) != 2 {
+		t.Fatalf("labeled counter missing: %+v", s.Counters)
+	}
+	if got := s.CounterFamily("reqs_total"); got != 3 {
+		t.Fatalf("family sum = %v, want 3", got)
+	}
+	// Label values escape; label order normalizes.
+	r.Counter("esc_total", "", L("b", `x"y\z`), L("a", "1")).Inc()
+	if s := r.Snapshot(); s.Counter(`esc_total{a="1",b="x\"y\\z"}`) != 1 {
+		t.Fatalf("escaped id missing: %+v", s.Counters)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{1, 2, 4, 8})
+	for i := 0; i < 96; i++ {
+		h.Observe(float64(i%8) + 0.5) // uniform over {0.5, 1.5, …, 7.5}
+	}
+	hs := r.Snapshot().Histogram("lat_seconds")
+	if hs.Count != 96 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if want := 96 * 4.0; math.Abs(hs.Sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", hs.Sum, want)
+	}
+	q50 := hs.Quantile(0.5)
+	if q50 < 3 || q50 > 5 {
+		t.Fatalf("p50 = %v, want ≈4", q50)
+	}
+	if q := hs.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %v, want 8", q)
+	}
+	if !math.IsNaN((HistSnapshot{}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+	// Overflow values clamp to the top finite bound.
+	h2 := r.Histogram("over_seconds", "", []float64{1})
+	h2.Observe(100)
+	if q := r.Snapshot().Histogram("over_seconds").Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", q)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("derived", "", func() float64 { return v })
+	if got := r.Snapshot().Gauge("derived"); got != 1.5 {
+		t.Fatalf("gauge func = %v", got)
+	}
+	// Re-registration replaces the callback (newest owner wins).
+	r.GaugeFunc("derived", "", func() float64 { return 7 })
+	if got := r.Snapshot().Gauge("derived"); got != 7 {
+		t.Fatalf("replaced gauge func = %v", got)
+	}
+}
+
+func TestTimerRecordsSeconds(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("op_seconds", "")
+	tm.Observe(250 * time.Millisecond)
+	sw := tm.Start()
+	sw.Stop()
+	hs := r.Snapshot().Histogram("op_seconds")
+	if hs.Count != 2 {
+		t.Fatalf("timer count = %d", hs.Count)
+	}
+	if hs.Sum < 0.25 || hs.Sum > 1 {
+		t.Fatalf("timer sum = %v", hs.Sum)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("minicost_reqs_total", "requests served", L("endpoint", "plan")).Add(3)
+	r.Counter("minicost_reqs_total", "requests served", L("endpoint", "observe")).Add(1)
+	r.Gauge("minicost_files", "tracked files").Set(42)
+	h := r.Histogram("minicost_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("minicost_stale_seconds", "staleness", func() float64 { return math.NaN() })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP minicost_reqs_total requests served\n",
+		"# TYPE minicost_reqs_total counter\n",
+		`minicost_reqs_total{endpoint="observe"} 1` + "\n",
+		`minicost_reqs_total{endpoint="plan"} 3` + "\n",
+		"# TYPE minicost_files gauge\n",
+		"minicost_files 42\n",
+		"# TYPE minicost_lat_seconds histogram\n",
+		`minicost_lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`minicost_lat_seconds_bucket{le="1"} 2` + "\n",
+		`minicost_lat_seconds_bucket{le="+Inf"} 3` + "\n",
+		"minicost_lat_seconds_sum 5.55\n",
+		"minicost_lat_seconds_count 3\n",
+		"minicost_stale_seconds NaN\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with two children.
+	if n := strings.Count(out, "# TYPE minicost_reqs_total"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestConcurrentWritersAndScrapes is the -race guard: parallel counter,
+// gauge, and histogram writers against concurrent Snapshot and text scrapes.
+func TestConcurrentWritersAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	r.GaugeFunc("gf", "", func() float64 { return c.Value() })
+
+	const writers = 8
+	const perWriter = 2000
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	// Concurrent scrapers: Snapshot and text exposition while writes fly.
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if snap.Histogram("h_seconds").Count > writers*perWriter {
+					t.Error("snapshot overcounted")
+					return
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				// Late registrations must be safe mid-scrape too.
+				if i%500 == 0 {
+					r.Counter("late_total", "", L("w", string(rune('a'+w)))).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counter("c_total"); got != writers*perWriter {
+		t.Fatalf("counter = %v, want %d", got, writers*perWriter)
+	}
+	if got := s.Gauge("g"); got != writers*perWriter {
+		t.Fatalf("gauge = %v, want %d", got, writers*perWriter)
+	}
+	if got := s.Histogram("h_seconds").Count; got != writers*perWriter {
+		t.Fatalf("histogram count = %v, want %d", got, writers*perWriter)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation inflates atomic-op timings.
+const raceEnabled = true

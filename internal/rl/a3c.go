@@ -7,8 +7,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"minicost/internal/mat"
 	"minicost/internal/mdp"
 	"minicost/internal/nn"
+	"minicost/internal/obs"
 	"minicost/internal/pricing"
 	"minicost/internal/rng"
 )
@@ -239,6 +241,8 @@ func (a *A3C) Train(factory EnvFactory, totalSteps int64) (TrainStats, error) {
 	if totalSteps <= 0 {
 		return TrainStats{}, fmt.Errorf("rl: totalSteps %d", totalSteps)
 	}
+	trainRate.begin(a)
+	defer trainRate.finish(a)
 	var wg sync.WaitGroup
 	stats := make([]TrainStats, a.cfg.Workers)
 	for w := 0; w < a.cfg.Workers; w++ {
@@ -403,6 +407,11 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 		if len(buf.rewards) == 0 {
 			continue
 		}
+		trainMet.steps.Add(float64(len(buf.rewards)))
+		trainMet.batchFill.Observe(float64(len(buf.rewards)) / float64(a.cfg.NSteps))
+		if done {
+			trainMet.episodes.Inc()
+		}
 
 		// n-step return bootstrap (lines 6–8): R = 0 at episode end,
 		// V(s_{t+n}) otherwise.
@@ -420,6 +429,12 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 		// flat-backed accumulators are the gradient vectors.
 		nn.ClipGrads(aGrad, a.cfg.GradClip)
 		nn.ClipGrads(cGrad, a.cfg.GradClip)
+		if obs.Default().Enabled() {
+			// The O(params) norm is only worth computing when someone is
+			// watching; Set self-gates but would not skip the sqrt-sum.
+			trainMet.gradNorm.Set(math.Sqrt(mat.SumSquares(aGrad)))
+		}
+		sw := trainMet.updateLat.Start()
 		a.mu.Lock()
 		if f := a.cfg.FinalLRFraction; f > 0 && f < 1 {
 			// Linear LR annealing over this Train call's step budget.
@@ -442,6 +457,8 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 			a.applyLocked(aGrad, cGrad)
 		}
 		a.mu.Unlock()
+		sw.Stop()
+		trainMet.updates.Inc()
 		st.Updates++
 	}
 	return st

@@ -69,6 +69,7 @@ func (a *A3C) applyLocked(aGrad, cGrad []float64) {
 	a.criticOpt.StepTo(next.critic, cur.critic, cGrad)
 	a.snap.Swap(next)
 	a.retired = append(a.retired, cur)
+	trainMet.swaps.Inc()
 }
 
 // installLocked replaces the published parameters with copies of the given
@@ -79,6 +80,7 @@ func (a *A3C) installLocked(actor, critic []float64) {
 	copy(next.critic, critic)
 	old := a.snap.Swap(next)
 	a.retired = append(a.retired, old)
+	trainMet.swaps.Inc()
 }
 
 // bindSnapshot pins the current published buffer and points the worker's

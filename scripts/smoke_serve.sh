@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# smoke_serve.sh — end-to-end serving smoke test (make smoke-serve, CI).
+#
+# Builds minicostd, boots it with a tiny bootstrap agent, waits for
+# /healthz, pushes one observation batch, fetches a plan, and asserts
+# /metrics exposes the serving, training, and simulation metric families
+# in Prometheus text format. Exits non-zero on any failure.
+set -eu
+
+ADDR="127.0.0.1:${SMOKE_PORT:-18471}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/minicostd"
+LOG="$(mktemp)"
+
+cleanup() {
+    status=$?
+    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+    [ -n "${PID:-}" ] && wait "$PID" 2>/dev/null || true
+    if [ "$status" -ne 0 ]; then
+        echo "smoke-serve: FAILED; daemon log:" >&2
+        cat "$LOG" >&2 || true
+    fi
+    rm -rf "$(dirname "$BIN")" "$LOG"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke-serve: building minicostd"
+go build -o "$BIN" ./cmd/minicostd
+
+echo "smoke-serve: booting with a tiny bootstrap agent on $ADDR"
+"$BIN" -addr "$ADDR" -bootstrap-steps 2000 -filters 8 -hidden 16 2>"$LOG" &
+PID=$!
+
+# The tiny bootstrap still trains a real agent; allow up to 120 s.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "smoke-serve: daemon did not come up" >&2
+        exit 1
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "smoke-serve: daemon exited during bootstrap" >&2
+        exit 1
+    fi
+    sleep 1
+done
+
+echo "smoke-serve: /healthz ok; exercising observe -> plan"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"files":[{"id":"a","size_gb":0.5,"reads":100,"writes":2},{"id":"b","size_gb":1.0,"reads":0.01,"writes":0}]}' \
+    "$BASE/v1/observe" >/dev/null
+curl -fsS "$BASE/v1/plan" >/dev/null
+
+METRICS="$(curl -fsS "$BASE/metrics")"
+for family in \
+    'minicost_http_requests_total{endpoint="plan",status="ok"} 1' \
+    'minicost_serve_plans_total 1' \
+    'minicost_serve_tracked_files 2' \
+    'minicost_train_steps_total' \
+    'minicost_sim_accrued_cost_dollars' \
+    'minicost_sim_tier_changes_total'; do
+    if ! printf '%s\n' "$METRICS" | grep -q "^$family"; then
+        echo "smoke-serve: /metrics missing '$family'" >&2
+        printf '%s\n' "$METRICS" | head -40 >&2
+        exit 1
+    fi
+done
+
+# Graceful shutdown: SIGTERM must drain and exit cleanly.
+kill -TERM "$PID"
+wait "$PID"
+PID=""
+echo "smoke-serve: OK"
