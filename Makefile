@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check smoke-serve bench-inference bench-training bench-evaluation
+.PHONY: build test check check-parallel smoke-serve bench-inference bench-training bench-evaluation bench-scaling
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ check:
 	fi
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# check-parallel runs the kernel-level packages with the race detector and a
+# fixed multi-core GOMAXPROCS so the parallel GEMM/backward fan-outs, the
+# Parallelism training knob, and the par helpers actually execute their
+# multi-goroutine branches (on a single-core runner they would silently
+# degrade to the serial paths).
+check-parallel:
+	GOMAXPROCS=4 $(GO) test -race -count=1 ./internal/par ./internal/mat ./internal/nn ./internal/rl
 
 # smoke-serve boots minicostd with a tiny bootstrap agent, exercises
 # observe -> plan, and asserts /healthz answers and /metrics exposes the
@@ -39,3 +47,9 @@ bench-training:
 # Fig. 7 horizon evaluation on one core at the Quick and Full configs).
 bench-evaluation:
 	$(GO) run ./cmd/bench -mode evaluation -o BENCH_evaluation.json
+
+# bench-scaling regenerates all three BENCH_*.json files including the
+# worker-scaling ladder (workers 1/2/4/8 with GOMAXPROCS pinned per row and
+# a scaling_efficiency field on every ladder row).
+bench-scaling:
+	$(GO) run ./cmd/bench -mode all

@@ -14,13 +14,20 @@
 //     engine, at the experiments Quick and Full configurations (random
 //     agent — runtime is weight-independent).
 //
+// Every mode additionally emits worker-scaling rows: the fast engine rerun
+// at each -scale-workers count with GOMAXPROCS pinned to that count, tagged
+// with a scaling_efficiency field ((throughput_w / throughput_base) × base/w,
+// so perfect linear scaling reads 1.0).
+//
 // Usage:
 //
 //	bench                        # inference mode, writes BENCH_inference.json
 //	bench -mode training         # writes BENCH_training.json
 //	bench -mode evaluation       # writes BENCH_evaluation.json
 //	bench -mode all              # all files
-//	bench -o results.json        # alternate output path (single mode only)
+//	bench -o results.json        # alternate output path; with -mode all the
+//	                             # path is a prefix (results_inference.json …)
+//	bench -scale-workers 1,2,4   # alternate scaling ladder ("" disables)
 //	bench -files 1024 -days 28   # heavier inference workload
 //	bench -cpuprofile cpu.pprof  # profile the benchmarked paths
 package main
@@ -30,7 +37,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"minicost/internal/costmodel"
@@ -44,7 +54,7 @@ import (
 	"minicost/internal/trace"
 )
 
-// result is one (config, engine) measurement.
+// result is one (config, engine, workers) measurement.
 type result struct {
 	Config     string  `json:"config"`
 	HistLen    int     `json:"hist_len"`
@@ -53,11 +63,15 @@ type result struct {
 	Files      int     `json:"files"`
 	Days       int     `json:"days"`
 	Engine     string  `json:"engine"` // "single" or "batched"
+	Workers    int     `json:"workers"`
 	Rounds     int     `json:"rounds"`
 	NsPerDec   float64 `json:"ns_per_decision"`
 	DecPerSec  float64 `json:"decisions_per_second"`
 	TotalMS    float64 `json:"total_ms"`
 	SpeedupVs1 float64 `json:"speedup_vs_single,omitempty"`
+	// ScalingEfficiency is set on worker-scaling rows: throughput relative
+	// to the ladder's base worker count, normalized so linear scaling is 1.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // trainResult is one (config, engine) training measurement.
@@ -74,18 +88,23 @@ type trainResult struct {
 	StepsPerSec float64 `json:"steps_per_second"`
 	TotalMS     float64 `json:"total_ms"`
 	SpeedupVs1  float64 `json:"speedup_vs_single,omitempty"`
+	// ScalingEfficiency is set on worker-scaling rows; see result.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
-// evalResult is one (config, engine) horizon-sweep measurement.
+// evalResult is one (config, engine, workers) horizon-sweep measurement.
 type evalResult struct {
 	Config     string  `json:"config"`
 	Files      int     `json:"files"`
 	Days       int     `json:"days"`
 	Horizons   []int   `json:"horizons"`
 	Engine     string  `json:"engine"` // "perwindow" or "swept"
+	Workers    int     `json:"workers"`
 	Rounds     int     `json:"rounds"`
 	TotalMS    float64 `json:"total_ms"`
 	SpeedupVs1 float64 `json:"speedup_vs_perwindow,omitempty"`
+	// ScalingEfficiency is set on worker-scaling rows; see result.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 type report struct {
@@ -109,52 +128,44 @@ var benchConfigs = []struct {
 func main() {
 	var (
 		mode       = flag.String("mode", "inference", `"inference", "training", "evaluation" or "all"`)
-		out        = flag.String("o", "", "output JSON path (default BENCH_<mode>.json; single mode only)")
+		out        = flag.String("o", "", "output JSON path (default BENCH_<mode>.json; a prefix with -mode all)")
 		files      = flag.Int("files", 512, "files in the inference bench trace")
 		days       = flag.Int("days", 14, "trace days")
 		rounds     = flag.Int("rounds", 3, "timed rounds per measurement (best is kept)")
 		trainSteps = flag.Int64("train-steps", 1024, "environment steps per training round")
 		workers    = flag.Int("workers", 1, "A3C workers in the training bench")
+		scaleFlag  = flag.String("scale-workers", "1,2,4,8", "comma-separated worker counts for the scaling rows; empty disables them")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
 	}
 
-	runInference := *mode == "inference" || *mode == "all"
-	runTraining := *mode == "training" || *mode == "all"
-	runEvaluation := *mode == "evaluation" || *mode == "all"
+	all := *mode == "all"
+	runInference := *mode == "inference" || all
+	runTraining := *mode == "training" || all
+	runEvaluation := *mode == "evaluation" || all
 	if !runInference && !runTraining && !runEvaluation {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	if *out != "" && *mode == "all" {
-		fatal(fmt.Errorf("-o is ambiguous with -mode all"))
-	}
 
 	if runInference {
-		path := *out
-		if path == "" {
-			path = "BENCH_inference.json"
-		}
-		writeReport(path, benchInference(*files, *days, *rounds))
+		writeReport(outPath(*out, "inference", all), benchInference(*files, *days, *rounds, scale))
 	}
 	if runTraining {
-		path := *out
-		if path == "" {
-			path = "BENCH_training.json"
-		}
-		writeReport(path, benchTraining(*trainSteps, *workers, *rounds))
+		writeReport(outPath(*out, "training", all), benchTraining(*trainSteps, *workers, *rounds, scale))
 	}
 	if runEvaluation {
-		path := *out
-		if path == "" {
-			path = "BENCH_evaluation.json"
-		}
-		writeReport(path, benchEvaluation(*rounds))
+		writeReport(outPath(*out, "evaluation", all), benchEvaluation(*rounds, scale))
 	}
 
 	if err := stopProf(); err != nil {
@@ -162,7 +173,62 @@ func main() {
 	}
 }
 
-func benchInference(files, days, rounds int) report {
+// outPath resolves the report path for one mode. Without -o it is the
+// standard BENCH_<mode>.json. With -o in a single mode it is the given path
+// verbatim; under -mode all the path acts as a prefix and "_<mode>" is
+// inserted before the extension (results.json → results_inference.json, …)
+// so the three reports never overwrite each other.
+func outPath(out, mode string, all bool) string {
+	if out == "" {
+		return "BENCH_" + mode + ".json"
+	}
+	if !all {
+		return out
+	}
+	ext := filepath.Ext(out)
+	if ext == "" {
+		ext = ".json"
+	}
+	return strings.TrimSuffix(out, filepath.Ext(out)) + "_" + mode + ext
+}
+
+// parseScale parses the -scale-workers ladder ("1,2,4,8"). An empty flag
+// disables scaling rows.
+func parseScale(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ladder := make([]int, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-scale-workers: bad worker count %q", p)
+		}
+		ladder = append(ladder, w)
+	}
+	return ladder, nil
+}
+
+// scaledRun pins GOMAXPROCS to the row's worker count for the duration of
+// one measurement, so a scaling row measures real scheduler parallelism
+// rather than goroutine multiplexing on the ambient process width.
+func scaledRun(workers int, measure func() time.Duration) time.Duration {
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	return measure()
+}
+
+// efficiency normalizes a scaling row against the ladder's base row:
+// (throughput_w / throughput_base) × base/w, so linear scaling reads 1.0.
+func efficiency(throughput, baseThroughput float64, workers, baseWorkers int) float64 {
+	if baseThroughput <= 0 {
+		return 0
+	}
+	return (throughput / baseThroughput) * float64(baseWorkers) / float64(workers)
+}
+
+func benchInference(files, days, rounds int, scale []int) report {
 	rep := report{Benchmark: "inference", GoMaxProc: runtime.GOMAXPROCS(0)}
 	for _, cfg := range benchConfigs {
 		agent := rl.NewAgent(cfg.net, cfg.net.BuildActor(rng.New(7)))
@@ -176,22 +242,25 @@ func benchInference(files, days, rounds int) report {
 		}
 		m := costmodel.New(pricing.Azure())
 		decisions := float64(tr.NumFiles() * tr.Days)
+		mkResult := func(engine string, workers int, best time.Duration) result {
+			return result{
+				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
+				Hidden: cfg.net.Hidden, Files: tr.NumFiles(), Days: tr.Days,
+				Engine: engine, Workers: workers, Rounds: rounds,
+				NsPerDec:  float64(best.Nanoseconds()) / decisions,
+				DecPerSec: decisions / best.Seconds(),
+				TotalMS:   float64(best.Microseconds()) / 1000,
+			}
+		}
 
-		single := measure(policy.RL{Agent: agent, SingleSample: true}, tr, m, rounds)
-		batched := measure(policy.RL{Agent: agent}, tr, m, rounds)
+		single := measure(policy.RL{Agent: agent, SingleSample: true, Workers: 1}, tr, m, rounds)
+		batched := measure(policy.RL{Agent: agent, Workers: 1}, tr, m, rounds)
 
 		for _, r := range []struct {
 			engine string
 			best   time.Duration
 		}{{"single", single}, {"batched", batched}} {
-			res := result{
-				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
-				Hidden: cfg.net.Hidden, Files: tr.NumFiles(), Days: tr.Days,
-				Engine: r.engine, Rounds: rounds,
-				NsPerDec:  float64(r.best.Nanoseconds()) / decisions,
-				DecPerSec: decisions / r.best.Seconds(),
-				TotalMS:   float64(r.best.Microseconds()) / 1000,
-			}
+			res := mkResult(r.engine, 1, r.best)
 			if r.engine == "batched" {
 				res.SpeedupVs1 = single.Seconds() / r.best.Seconds()
 			}
@@ -202,11 +271,28 @@ func benchInference(files, days, rounds int) report {
 			}
 			fmt.Println()
 		}
+
+		// Worker-scaling ladder: the batched engine rerun at each worker
+		// count with GOMAXPROCS pinned to match.
+		var baseThr float64
+		for i, w := range scale {
+			best := scaledRun(w, func() time.Duration {
+				return measure(policy.RL{Agent: agent, Workers: w}, tr, m, rounds)
+			})
+			res := mkResult("batched", w, best)
+			if i == 0 {
+				baseThr = res.DecPerSec
+			}
+			res.ScalingEfficiency = efficiency(res.DecPerSec, baseThr, w, scale[0])
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-9s %-8s %10.0f ns/decision  %12.0f decisions/s  workers=%d eff=%.2f\n",
+				cfg.name, "batched", res.NsPerDec, res.DecPerSec, w, res.ScalingEfficiency)
+		}
 	}
 	return rep
 }
 
-func benchTraining(steps int64, workers, rounds int) report {
+func benchTraining(steps int64, workers, rounds int, scale []int) report {
 	rep := report{Benchmark: "training", GoMaxProc: runtime.GOMAXPROCS(0)}
 	for _, cfg := range benchConfigs {
 		// The training workload mirrors the rl bench tests: a small polar
@@ -220,6 +306,15 @@ func benchTraining(steps int64, workers, rounds int) report {
 			fatal(err)
 		}
 		m := costmodel.New(pricing.Azure())
+		mkResult := func(engine string, w int, best time.Duration) trainResult {
+			return trainResult{
+				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
+				Hidden: cfg.net.Hidden, NSteps: rl.DefaultA3CConfig().NSteps,
+				Workers: w, Engine: engine, Rounds: rounds, Steps: steps,
+				StepsPerSec: float64(steps) / best.Seconds(),
+				TotalMS:     float64(best.Microseconds()) / 1000,
+			}
+		}
 
 		single := measureTraining(cfg.net, tr, m, true, steps, workers, rounds)
 		batched := measureTraining(cfg.net, tr, m, false, steps, workers, rounds)
@@ -228,13 +323,7 @@ func benchTraining(steps int64, workers, rounds int) report {
 			engine string
 			best   time.Duration
 		}{{"single", single}, {"batched", batched}} {
-			res := trainResult{
-				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
-				Hidden: cfg.net.Hidden, NSteps: rl.DefaultA3CConfig().NSteps,
-				Workers: workers, Engine: r.engine, Rounds: rounds, Steps: steps,
-				StepsPerSec: float64(steps) / r.best.Seconds(),
-				TotalMS:     float64(r.best.Microseconds()) / 1000,
-			}
+			res := mkResult(r.engine, workers, r.best)
 			if r.engine == "batched" {
 				res.SpeedupVs1 = single.Seconds() / r.best.Seconds()
 			}
@@ -245,6 +334,24 @@ func benchTraining(steps int64, workers, rounds int) report {
 			}
 			fmt.Println()
 		}
+
+		// Worker-scaling ladder: the batched trainer rerun with w A3C
+		// workers and GOMAXPROCS pinned to match, so the rows measure the
+		// asynchronous fan-out end to end (collection and update included).
+		var baseThr float64
+		for i, w := range scale {
+			best := scaledRun(w, func() time.Duration {
+				return measureTraining(cfg.net, tr, m, false, steps, w, rounds)
+			})
+			res := mkResult("batched", w, best)
+			if i == 0 {
+				baseThr = res.StepsPerSec
+			}
+			res.ScalingEfficiency = efficiency(res.StepsPerSec, baseThr, w, scale[0])
+			rep.Training = append(rep.Training, res)
+			fmt.Printf("%-9s %-8s %12.0f steps/s  workers=%d eff=%.2f\n",
+				cfg.name, "batched", res.StepsPerSec, w, res.ScalingEfficiency)
+		}
 	}
 	return rep
 }
@@ -254,7 +361,7 @@ func benchTraining(steps int64, workers, rounds int) report {
 // horizon) versus the single-pass sweep engine. A random agent stands in for
 // the trained one — equivalence and runtime are weight-independent — so the
 // bench measures evaluation, not training.
-func benchEvaluation(rounds int) report {
+func benchEvaluation(rounds int, scale []int) report {
 	rep := report{Benchmark: "evaluation", GoMaxProc: runtime.GOMAXPROCS(0)}
 	for _, lc := range []struct {
 		name string
@@ -305,7 +412,7 @@ func benchEvaluation(rounds int) report {
 			}
 			res := evalResult{
 				Config: lc.name, Files: l.Test.NumFiles(), Days: l.Test.Days,
-				Horizons: horizons, Engine: en.name, Rounds: rounds,
+				Horizons: horizons, Engine: en.name, Workers: 1, Rounds: rounds,
 				TotalMS: float64(best.Microseconds()) / 1000,
 			}
 			if en.swept {
@@ -320,6 +427,38 @@ func benchEvaluation(rounds int) report {
 			}
 			fmt.Println()
 		}
+
+		// Worker-scaling ladder: the sweep engine rerun with the lab's
+		// evaluation parallelism at each worker count, GOMAXPROCS pinned to
+		// match. Throughput basis is sweeps/second (inverse wall time).
+		var baseThr float64
+		for i, w := range scale {
+			l.Cfg.Workers = w
+			best := scaledRun(w, func() time.Duration {
+				run(true) // warm-up at this width
+				b := time.Duration(0)
+				for r := 0; r < rounds; r++ {
+					if d := run(true); b == 0 || d < b {
+						b = d
+					}
+				}
+				return b
+			})
+			res := evalResult{
+				Config: lc.name, Files: l.Test.NumFiles(), Days: l.Test.Days,
+				Horizons: horizons, Engine: "swept", Workers: w, Rounds: rounds,
+				TotalMS: float64(best.Microseconds()) / 1000,
+			}
+			thr := 1 / best.Seconds()
+			if i == 0 {
+				baseThr = thr
+			}
+			res.ScalingEfficiency = efficiency(thr, baseThr, w, scale[0])
+			rep.Evaluation = append(rep.Evaluation, res)
+			fmt.Printf("%-9s %-10s %10.1f ms/sweep  workers=%d eff=%.2f\n",
+				lc.name, "swept", res.TotalMS, w, res.ScalingEfficiency)
+		}
+		l.Cfg.Workers = 1
 	}
 	return rep
 }

@@ -32,6 +32,11 @@ type Config struct {
 	Net rl.NetConfig
 	// TrainWorkers is the number of A3C workers.
 	TrainWorkers int
+	// TrainParallelism bounds the intra-update GEMM fan-out of each worker
+	// (rl.A3CConfig.Parallelism). The knob is bitwise-neutral, so a
+	// one-worker profile can train deterministically while still using
+	// several cores per update.
+	TrainParallelism int
 	// Workers bounds evaluation parallelism.
 	Workers int
 }
@@ -49,14 +54,19 @@ func Full() Config {
 }
 
 // Quick returns a profile that keeps every experiment under a few seconds.
+// It trains with one worker — a single seeded A3C actor is fully
+// deterministic, so every test and bench built on Quick is reproducible —
+// and leans on TrainParallelism for multi-core speed instead, which is
+// bitwise-neutral. Full keeps the paper's asynchronous 4-worker setup.
 func Quick() Config {
 	return Config{
-		Files:        300,
-		Days:         42,
-		Seed:         1,
-		TrainSteps:   120000,
-		Net:          rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32},
-		TrainWorkers: 4,
+		Files:            300,
+		Days:             42,
+		Seed:             1,
+		TrainSteps:       120000,
+		Net:              rl.NetConfig{HistLen: 7, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32},
+		TrainWorkers:     1,
+		TrainParallelism: 4,
 	}
 }
 
@@ -117,6 +127,7 @@ func (l *Lab) TrainAgent() (*rl.Agent, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	cfg.Parallelism = l.Cfg.TrainParallelism
 	cfg.Seed = l.Cfg.Seed
 	a3c, err := rl.NewA3C(cfg)
 	if err != nil {

@@ -76,7 +76,8 @@ func MulTransBBiasTo(dst, a, b *Matrix, bias []float64, workers int) *Matrix {
 		mulTransBBlock(dst, a, b, bias, 0, a.Rows)
 		return dst
 	}
-	par.ForBatched(a.Rows, gemmRowTile, workers, func(lo, hi int) {
+	w := resolveWorkers(workers)
+	par.ForBatched(a.Rows, parPanel(a.Rows, w, gemmMinPanel), w, func(lo, hi int) {
 		mulTransBBlock(dst, a, b, bias, lo, hi)
 	})
 	return dst
@@ -145,7 +146,8 @@ func MulTo(dst, a, b *Matrix, workers int) *Matrix {
 		mulBlock(dst, a, b, 0, a.Rows)
 		return dst
 	}
-	par.ForBatched(a.Rows, gemmRowTile, workers, func(lo, hi int) {
+	w := resolveWorkers(workers)
+	par.ForBatched(a.Rows, parPanel(a.Rows, w, gemmMinPanel), w, func(lo, hi int) {
 		mulBlock(dst, a, b, lo, hi)
 	})
 	return dst

@@ -4,6 +4,7 @@ package mat
 // kernel keeps one output column per vector lane so every element's
 // accumulation stays sequential — see the exactness contract in gemm.go.
 
+//go:noescape
 func dotPack16AVX(a, bp, acc []float64)
 
 func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)

@@ -25,14 +25,37 @@ import (
 // enough (pass nil to allocate); the returned matrix must be used in place
 // of dst. It is the scratch-friendly sibling of Matrix.T.
 func TransposeTo(dst, src *Matrix) *Matrix {
+	return TransposeParTo(dst, src, 1)
+}
+
+// TransposeParTo is TransposeTo with source rows sharded over workers; each
+// source row writes one strided destination column, so shards touch disjoint
+// elements and the result is identical at any worker count. Small matrices
+// transpose serially regardless of workers.
+func TransposeParTo(dst, src *Matrix, workers int) *Matrix {
 	dst = EnsureShape(dst, src.Cols, src.Rows)
-	for r := 0; r < src.Rows; r++ {
+	// The closure is built only on the parallel branch: a func literal handed
+	// to ForBatched escapes, and the workers=1 path must stay allocation-free.
+	if workers == 1 || len(src.Data) < packParMin {
+		transposeRows(dst, src, 0, src.Rows)
+		return dst
+	}
+	w := resolveWorkers(workers)
+	par.ForBatched(src.Rows, parPanel(src.Rows, w, gemmMinPanel), w, func(lo, hi int) {
+		transposeRows(dst, src, lo, hi)
+	})
+	return dst
+}
+
+// transposeRows writes source rows [lo, hi) into their strided destination
+// columns; shards touch disjoint elements.
+func transposeRows(dst, src *Matrix, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		row := src.Data[r*src.Cols : (r+1)*src.Cols]
 		for c, v := range row {
 			dst.Data[c*dst.Cols+r] = v
 		}
 	}
-	return dst
 }
 
 // MulTransBAccTo accumulates dst += a·bᵀ in place; dst must already have
@@ -52,7 +75,8 @@ func MulTransBAccTo(dst, a, b *Matrix, workers int) {
 		mulTransBAccBlock(dst, a, b, 0, a.Rows)
 		return
 	}
-	par.ForBatched(a.Rows, gemmRowTile, workers, func(lo, hi int) {
+	w := resolveWorkers(workers)
+	par.ForBatched(a.Rows, parPanel(a.Rows, w, gemmMinPanel), w, func(lo, hi int) {
 		mulTransBAccBlock(dst, a, b, lo, hi)
 	})
 }
@@ -78,7 +102,8 @@ func MulTransAAccTo(dst, a, b *Matrix, workers int) {
 		mulTransAAccBlock(dst, a, b, 0, dst.Rows)
 		return
 	}
-	par.ForBatched(dst.Rows, gemmRowTile, workers, func(lo, hi int) {
+	w := resolveWorkers(workers)
+	par.ForBatched(dst.Rows, parPanel(dst.Rows, w, gemmMinPanel), w, func(lo, hi int) {
 		mulTransAAccBlock(dst, a, b, lo, hi)
 	})
 }
@@ -131,7 +156,14 @@ func MulKOuterTo(dst, a, b *Matrix, workers int) *Matrix {
 		mulKOuterBlock(dst, a, b, 0, b.Cols)
 		return dst
 	}
-	par.ForBatched(b.Cols, 512, workers, func(lo, hi int) {
+	// Column stripes stay at least gradColTile wide so the cache tiling
+	// inside each stripe is unchanged; more workers just get more stripes.
+	w := resolveWorkers(workers)
+	stripe := (b.Cols + 2*w - 1) / (2 * w)
+	if stripe < gradColTile {
+		stripe = gradColTile
+	}
+	par.ForBatched(b.Cols, stripe, w, func(lo, hi int) {
 		mulKOuterBlock(dst, a, b, lo, hi)
 	})
 	return dst

@@ -27,12 +27,10 @@ type PackedTransB struct {
 	Data []float64
 }
 
-// PackTransBTo packs b into dst, reusing dst's backing storage when large
-// enough (pass nil to allocate). The returned value must be used in place of
-// dst.
-func PackTransBTo(dst *PackedTransB, b *Matrix) *PackedTransB {
-	tiles := (b.Rows + packLanes - 1) / packLanes
-	need := tiles * b.Cols * packLanes
+// ensurePacked sizes dst for a tiles×k packed operand with the given
+// logical column count, reusing its backing storage when large enough.
+func ensurePacked(dst *PackedTransB, tiles, k, cols int) *PackedTransB {
+	need := tiles * k * packLanes
 	if dst == nil {
 		dst = &PackedTransB{}
 	}
@@ -41,25 +39,56 @@ func PackTransBTo(dst *PackedTransB, b *Matrix) *PackedTransB {
 	} else {
 		dst.Data = make([]float64, need)
 	}
-	dst.Cols, dst.K = b.Rows, b.Cols
+	dst.Cols, dst.K = cols, k
+	return dst
+}
+
+// PackTransBTo packs b into dst, reusing dst's backing storage when large
+// enough (pass nil to allocate). The returned value must be used in place of
+// dst.
+func PackTransBTo(dst *PackedTransB, b *Matrix) *PackedTransB {
+	return PackTransBParTo(dst, b, 1)
+}
+
+// PackTransBParTo is PackTransBTo with the packing tiles sharded over
+// workers: every tile is a disjoint segment of dst's backing array, so
+// workers write without contention and the layout (hence every downstream
+// accumulation) is identical at any worker count. Small operands pack
+// serially regardless of workers.
+func PackTransBParTo(dst *PackedTransB, b *Matrix, workers int) *PackedTransB {
+	tiles := (b.Rows + packLanes - 1) / packLanes
+	dst = ensurePacked(dst, tiles, b.Cols, b.Rows)
+	if workers == 1 || len(dst.Data) < packParMin {
+		for t := 0; t < tiles; t++ {
+			packTransBTile(dst, b, t)
+		}
+		return dst
+	}
+	par.ForBatched(tiles, 1, workers, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			packTransBTile(dst, b, t)
+		}
+	})
+	return dst
+}
+
+// packTransBTile fills tile t of the packed operand from b's rows.
+func packTransBTile(dst *PackedTransB, b *Matrix, t int) {
 	k := b.Cols
-	for t := 0; t < tiles; t++ {
-		seg := dst.Data[t*k*packLanes : (t+1)*k*packLanes]
-		for lane := 0; lane < packLanes; lane++ {
-			j := t*packLanes + lane
-			if j >= b.Rows {
-				for i := 0; i < k; i++ {
-					seg[i*packLanes+lane] = 0
-				}
-				continue
+	seg := dst.Data[t*k*packLanes : (t+1)*k*packLanes]
+	for lane := 0; lane < packLanes; lane++ {
+		j := t*packLanes + lane
+		if j >= b.Rows {
+			for i := 0; i < k; i++ {
+				seg[i*packLanes+lane] = 0
 			}
-			brow := b.Data[j*k : (j+1)*k]
-			for i, v := range brow {
-				seg[i*packLanes+lane] = v
-			}
+			continue
+		}
+		brow := b.Data[j*k : (j+1)*k]
+		for i, v := range brow {
+			seg[i*packLanes+lane] = v
 		}
 	}
-	return dst
 }
 
 // PackTransposeTo packs mᵀ as a transposed-B operand without materializing
@@ -70,34 +99,44 @@ func PackTransBTo(dst *PackedTransB, b *Matrix) *PackedTransB {
 // In×Out orientation. The inner copy walks m row-major, so packing stays
 // cache-friendly; the layout and zero-padding match PackTransBTo exactly.
 func PackTransposeTo(dst *PackedTransB, m *Matrix) *PackedTransB {
+	return PackTransposeParTo(dst, m, 1)
+}
+
+// PackTransposeParTo is PackTransposeTo with the packing tiles sharded over
+// workers, under the same disjoint-tile contract as PackTransBParTo.
+func PackTransposeParTo(dst *PackedTransB, m *Matrix, workers int) *PackedTransB {
 	tiles := (m.Cols + packLanes - 1) / packLanes
-	need := tiles * m.Rows * packLanes
-	if dst == nil {
-		dst = &PackedTransB{}
-	}
-	if cap(dst.Data) >= need {
-		dst.Data = dst.Data[:need]
-	} else {
-		dst.Data = make([]float64, need)
-	}
-	dst.Cols, dst.K = m.Cols, m.Rows
-	k := m.Rows
-	for t := 0; t < tiles; t++ {
-		seg := dst.Data[t*k*packLanes : (t+1)*k*packLanes]
-		j0 := t * packLanes
-		w := packLanes
-		if j0+w > m.Cols {
-			w = m.Cols - j0
+	dst = ensurePacked(dst, tiles, m.Rows, m.Cols)
+	if workers == 1 || len(dst.Data) < packParMin {
+		for t := 0; t < tiles; t++ {
+			packTransposeTile(dst, m, t)
 		}
-		for i := 0; i < k; i++ {
-			drow := seg[i*packLanes : (i+1)*packLanes]
-			copy(drow[:w], m.Data[i*m.Cols+j0:i*m.Cols+j0+w])
-			for lane := w; lane < packLanes; lane++ {
-				drow[lane] = 0
-			}
-		}
+		return dst
 	}
+	par.ForBatched(tiles, 1, workers, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			packTransposeTile(dst, m, t)
+		}
+	})
 	return dst
+}
+
+// packTransposeTile fills tile t of the packed operand from m's columns.
+func packTransposeTile(dst *PackedTransB, m *Matrix, t int) {
+	k := m.Rows
+	seg := dst.Data[t*k*packLanes : (t+1)*k*packLanes]
+	j0 := t * packLanes
+	w := packLanes
+	if j0+w > m.Cols {
+		w = m.Cols - j0
+	}
+	for i := 0; i < k; i++ {
+		drow := seg[i*packLanes : (i+1)*packLanes]
+		copy(drow[:w], m.Data[i*m.Cols+j0:i*m.Cols+j0+w])
+		for lane := w; lane < packLanes; lane++ {
+			drow[lane] = 0
+		}
+	}
 }
 
 // MulPackTransBBiasTo is the packed-operand version of MulTransBBiasTo:
@@ -119,7 +158,8 @@ func MulPackTransBBiasTo(dst, a *Matrix, pb *PackedTransB, bias []float64, worke
 		mulPackBlock(dst, a, pb, bias, 0, a.Rows)
 		return dst
 	}
-	par.ForBatched(a.Rows, gemmRowTile, workers, func(lo, hi int) {
+	w := resolveWorkers(workers)
+	par.ForBatched(a.Rows, parPanel(a.Rows, w, gemmMinPanel), w, func(lo, hi int) {
 		mulPackBlock(dst, a, pb, bias, lo, hi)
 	})
 	return dst

@@ -1,0 +1,74 @@
+package mat
+
+import "minicost/internal/par"
+
+// This file holds the multi-core layer of the GEMM engine: worker-aware
+// row-panel sizing shared by every parallel product, and GemmParallel, the
+// fused pack-and-multiply entry point the batched layers use when one call
+// should saturate the machine.
+//
+// Parallel decomposition never touches the numerical contract (gemm.go):
+// panels shard *independent output elements* (rows of the destination, tiles
+// of a packed operand, column stripes of a k-outer product), so every
+// element's shared-dimension accumulation stays sequential and bitwise
+// identical at any worker count — not just at workers=1. The equivalence
+// tests in parallel_test.go pin this across odd shapes.
+
+// gemmMinPanel is the smallest row panel handed to one worker: below this
+// the per-chunk dispatch (one atomic increment plus cache handoff of the
+// panel) stops amortizing against the panel's flops.
+const gemmMinPanel = 16
+
+// gemmPackMinRows mirrors nn's packMinRows: batches with fewer rows than
+// this do not amortize repacking the B operand and run on the unpacked
+// kernels.
+const gemmPackMinRows = 16
+
+// packParMin is the packed-operand size (floats) below which parallel
+// packing is not worth the fan-out.
+const packParMin = 1 << 15
+
+// resolveWorkers normalizes a caller-facing workers knob: <= 0 selects the
+// default (GOMAXPROCS), anything else is taken as-is.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return par.DefaultWorkers()
+	}
+	return workers
+}
+
+// parPanel sizes the row panels that shard rows over workers: small enough
+// that every worker sees at least two panels (par.ForBatched hands panels
+// out dynamically, so extra panels absorb stragglers), never smaller than
+// min (dispatch cost needs a floor), and never larger than gemmRowTile (the
+// serial chunk size, so workers=1 visits the same panel sequence as before).
+func parPanel(rows, workers, min int) int {
+	if workers <= 1 {
+		return gemmRowTile
+	}
+	p := (rows + 2*workers - 1) / (2 * workers)
+	if p < min {
+		p = min
+	}
+	if p > gemmRowTile {
+		p = gemmRowTile
+	}
+	return p
+}
+
+// GemmParallel computes dst = a·bᵀ + bias (the canonical batched-layer
+// product, b row-per-output like nn weight matrices) with both phases
+// parallel: b is packed tile-parallel into pack (each worker filling
+// disjoint tiles of one buffer), then the packed GEMM shards row panels of a
+// over the same workers. dst and pack are reusable scratch (nil allocates);
+// the returned values must be used in their place. Batches under
+// gemmPackMinRows rows skip packing and run the unpacked tiled kernel.
+// Results are bitwise identical to MulTransBBiasTo and the single-sample
+// reference at every worker count.
+func GemmParallel(dst, a, b *Matrix, bias []float64, pack *PackedTransB, workers int) (*Matrix, *PackedTransB) {
+	if a.Rows < gemmPackMinRows {
+		return MulTransBBiasTo(dst, a, b, bias, workers), pack
+	}
+	pack = PackTransBParTo(pack, b, workers)
+	return MulPackTransBBiasTo(dst, a, pack, bias, workers), pack
+}

@@ -1,0 +1,179 @@
+package mat
+
+import (
+	"testing"
+)
+
+// fillDet fills a matrix with a deterministic, non-uniform pattern so
+// reordered accumulations would produce different bits.
+func fillDet(m *Matrix, seed float64) {
+	for i := range m.Data {
+		v := float64(i%17) - 7.3*float64(i%5) + seed
+		m.Data[i] = v * 0.1875
+	}
+}
+
+func detMatrix(rows, cols int, seed float64) *Matrix {
+	m := New(rows, cols)
+	fillDet(m, seed)
+	return m
+}
+
+func detVec(n int, seed float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i%13)*0.375 - seed
+	}
+	return v
+}
+
+func equalBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %v, want %v (not bitwise identical)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// parallelShapes are odd shapes chosen above the parallel-flop threshold
+// with dimensions not divisible by the row tile, the panel floor, the pack
+// lane width, or any tested worker count — the ragged cases a sharding bug
+// would corrupt first.
+var parallelShapes = []struct{ rows, k, cols int }{
+	{65, 129, 67},  // just past one row tile, ragged pack tail
+	{131, 37, 129}, // one column past 8 full pack tiles
+	{97, 53, 33},   // cols % packLanes = 1
+	{128, 28, 128}, // paper-like: 128 filters/hidden, even everywhere
+	{33, 300, 17},  // long shared dimension, few rows
+}
+
+var testWorkerCounts = []int{2, 3, 7, 16}
+
+// TestMulTransBBiasToParallelBitwise pins the unpacked tiled GEMM: any
+// worker count must match the serial result bit for bit.
+func TestMulTransBBiasToParallelBitwise(t *testing.T) {
+	for _, s := range parallelShapes {
+		a := detMatrix(s.rows, s.k, 1.5)
+		b := detMatrix(s.cols, s.k, -2.25)
+		bias := detVec(s.cols, 0.5)
+		want := MulTransBBiasTo(nil, a, b, bias, 1)
+		for _, w := range testWorkerCounts {
+			got := MulTransBBiasTo(nil, a, b, bias, w)
+			equalBits(t, "MulTransBBiasTo", got.Data, want.Data)
+		}
+	}
+}
+
+// TestGemmParallelBitwise pins the fused pack+multiply entry point against
+// the unpacked serial kernel, including scratch reuse across calls.
+func TestGemmParallelBitwise(t *testing.T) {
+	for _, s := range parallelShapes {
+		a := detMatrix(s.rows, s.k, 0.75)
+		b := detMatrix(s.cols, s.k, -1.125)
+		bias := detVec(s.cols, 2.0)
+		want := MulTransBBiasTo(nil, a, b, bias, 1)
+		var dst *Matrix
+		var pack *PackedTransB
+		for _, w := range testWorkerCounts {
+			dst, pack = GemmParallel(dst, a, b, bias, pack, w)
+			equalBits(t, "GemmParallel", dst.Data, want.Data)
+		}
+	}
+}
+
+// TestPackParallelMatchesSerial pins the tile-sharded packers against their
+// serial layouts byte for byte.
+func TestPackParallelMatchesSerial(t *testing.T) {
+	for _, s := range parallelShapes {
+		b := detMatrix(s.cols, s.k, 3.5)
+		want := PackTransBTo(nil, b)
+		m := detMatrix(s.k, s.cols, -0.625)
+		wantT := PackTransposeTo(nil, m)
+		for _, w := range testWorkerCounts {
+			got := PackTransBParTo(nil, b, w)
+			equalBits(t, "PackTransBParTo", got.Data, want.Data)
+			if got.Cols != want.Cols || got.K != want.K {
+				t.Fatalf("PackTransBParTo dims %dx%d, want %dx%d", got.Cols, got.K, want.Cols, want.K)
+			}
+			gotT := PackTransposeParTo(nil, m, w)
+			equalBits(t, "PackTransposeParTo", gotT.Data, wantT.Data)
+		}
+	}
+}
+
+// TestGradKernelsParallelBitwise pins the backward-pass products: the
+// accumulating weight-gradient kernels (pre-seeded destinations) and the
+// k-outer input-gradient kernel at every worker count.
+func TestGradKernelsParallelBitwise(t *testing.T) {
+	for _, s := range parallelShapes {
+		// dst += a·bᵀ with a pre-seeded destination.
+		a := detMatrix(s.rows, s.k, 0.25)
+		b := detMatrix(s.cols, s.k, -1.75)
+		want := detMatrix(s.rows, s.cols, 4.5)
+		MulTransBAccTo(want, a, b, 1)
+		for _, w := range testWorkerCounts {
+			got := detMatrix(s.rows, s.cols, 4.5)
+			MulTransBAccTo(got, a, b, w)
+			equalBits(t, "MulTransBAccTo", got.Data, want.Data)
+		}
+
+		// dst += aᵀ·b, the transpose-free short-batch weight gradient.
+		at := detMatrix(s.k, s.rows, 1.25)
+		bt := detMatrix(s.k, s.cols, -0.5)
+		wantA := detMatrix(s.rows, s.cols, -2.5)
+		MulTransAAccTo(wantA, at, bt, 1)
+		for _, w := range testWorkerCounts {
+			got := detMatrix(s.rows, s.cols, -2.5)
+			MulTransAAccTo(got, at, bt, w)
+			equalBits(t, "MulTransAAccTo", got.Data, wantA.Data)
+		}
+
+		// dst = a·b with the shared dimension outermost.
+		ka := detMatrix(s.rows, s.k, 0.875)
+		kb := detMatrix(s.k, s.cols, -3.25)
+		wantK := MulKOuterTo(nil, ka, kb, 1)
+		for _, w := range testWorkerCounts {
+			got := MulKOuterTo(nil, ka, kb, w)
+			equalBits(t, "MulKOuterTo", got.Data, wantK.Data)
+		}
+	}
+}
+
+// TestGemmParallelSerialAllocFree gates the workers=1 steady state: with
+// warm scratch, the fused pack+multiply performs no allocations.
+func TestGemmParallelSerialAllocFree(t *testing.T) {
+	a := detMatrix(64, 31, 1.0)
+	b := detMatrix(33, 31, -1.0)
+	bias := detVec(33, 0.25)
+	dst, pack := GemmParallel(nil, a, b, bias, nil, 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		dst, pack = GemmParallel(dst, a, b, bias, pack, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("GemmParallel workers=1 steady state allocates %.0f/op, want 0", allocs)
+	}
+}
+
+// TestParPanel pins the panel-sizing policy: serial keeps the historical
+// tile, parallel panels give every worker at least two and respect the
+// floor and ceiling.
+func TestParPanel(t *testing.T) {
+	if got := parPanel(1000, 1, gemmMinPanel); got != gemmRowTile {
+		t.Fatalf("parPanel(serial) = %d, want %d", got, gemmRowTile)
+	}
+	for _, rows := range []int{17, 64, 100, 256, 1000} {
+		for _, w := range []int{2, 4, 8, 32} {
+			p := parPanel(rows, w, gemmMinPanel)
+			if p < gemmMinPanel || p > gemmRowTile {
+				t.Fatalf("parPanel(%d,%d) = %d outside [%d,%d]", rows, w, p, gemmMinPanel, gemmRowTile)
+			}
+			if chunks := (rows + p - 1) / p; rows >= 2*w*gemmMinPanel && chunks < 2*w {
+				t.Fatalf("parPanel(%d,%d) = %d gives %d chunks, want >= %d", rows, w, p, chunks, 2*w)
+			}
+		}
+	}
+}

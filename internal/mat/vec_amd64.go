@@ -4,16 +4,22 @@ package mat
 // GEMM path. Both kernels vectorize across independent elements only, so
 // they are bitwise-identical to the generic loops; see vec.go.
 
+//go:noescape
 func axpyAVX(dst, x []float64, alpha float64)
 
+//go:noescape
 func rmspropAVX(dst, params, grads, msq []float64, lr, decay, rem, eps float64)
 
+//go:noescape
 func dotXT8AVX(w, xt, acc []float64)
 
+//go:noescape
 func dotXT8x4AVX(w []float64, in int, xt, acc []float64)
 
+//go:noescape
 func sumsq8AVX(g []float64, p *[8]float64)
 
+//go:noescape
 func scalAVX(dst []float64, s float64)
 
 // laneKernels reports whether the 8-lane short-batch forward kernel is

@@ -165,6 +165,15 @@ type Env struct {
 	day  int
 	tier pricing.Tier
 	init pricing.Tier
+
+	// State-reuse mode (see EnableStateReuse): when on, returned States draw
+	// their history slices from these two recycled buffers instead of fresh
+	// allocations, alternating so the previously returned State survives one
+	// more Step.
+	reuse    bool
+	histBuf  [2][]float64 // read histories, one per buffer
+	writeBuf [2][]float64
+	flip     int
 }
 
 // NewEnv constructs an environment. The first decision is made for day 0
@@ -172,23 +181,44 @@ type Env struct {
 // production has two months of history; an episode's cold start should not
 // look like a traffic cliff).
 func NewEnv(model *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier, histLen int, reward RewardConfig) (*Env, error) {
-	if len(reads) == 0 || len(reads) != len(writes) {
-		return nil, fmt.Errorf("mdp: reads/writes lengths %d/%d", len(reads), len(writes))
+	e := &Env{}
+	if err := e.Reinit(model, sizeGB, reads, writes, initial, histLen, reward); err != nil {
+		return nil, err
 	}
-	if sizeGB <= 0 {
-		return nil, fmt.Errorf("mdp: size %v", sizeGB)
-	}
-	if histLen <= 0 {
-		return nil, fmt.Errorf("mdp: histLen %d", histLen)
-	}
-	if !initial.Valid() {
-		return nil, fmt.Errorf("mdp: invalid initial tier")
-	}
-	e := &Env{Model: model, Reads: reads, Writes: writes, SizeGB: sizeGB,
-		HistLen: histLen, Reward: reward, init: initial}
-	e.Reset()
 	return e, nil
 }
+
+// Reinit points the environment at a new file series in place, with exactly
+// NewEnv's validation, and resets the episode. Reuse buffers (state-reuse
+// mode, see EnableStateReuse) survive, so a serving loop that walks many
+// files through one pooled Env allocates nothing per file.
+func (e *Env) Reinit(model *costmodel.Model, sizeGB float64, reads, writes []float64, initial pricing.Tier, histLen int, reward RewardConfig) error {
+	if len(reads) == 0 || len(reads) != len(writes) {
+		return fmt.Errorf("mdp: reads/writes lengths %d/%d", len(reads), len(writes))
+	}
+	if sizeGB <= 0 {
+		return fmt.Errorf("mdp: size %v", sizeGB)
+	}
+	if histLen <= 0 {
+		return fmt.Errorf("mdp: histLen %d", histLen)
+	}
+	if !initial.Valid() {
+		return fmt.Errorf("mdp: invalid initial tier")
+	}
+	e.Model, e.Reads, e.Writes, e.SizeGB = model, reads, writes, sizeGB
+	e.HistLen, e.Reward, e.init = histLen, reward, initial
+	e.Reset()
+	return nil
+}
+
+// EnableStateReuse switches the environment to recycled observations: States
+// returned by Reset and Step borrow their history slices from two env-owned
+// buffers, alternating between them, instead of allocating per step. A
+// returned State therefore stays valid only until the second following
+// Step/Reset — long enough for the decide-then-step loops in rl, which
+// encode features before stepping. Callers that retain States (replay
+// buffers, diagnostics) must not enable this.
+func (e *Env) EnableStateReuse() { e.reuse = true }
 
 // Reset rewinds the episode and returns the initial state.
 func (e *Env) Reset() State {
@@ -229,11 +259,18 @@ func (e *Env) Tier() pricing.Tier { return e.tier }
 // state builds the observation before deciding day e.day: the trailing
 // HistLen observed frequencies, padded at the episode start.
 func (e *Env) state() State {
-	s := State{
-		ReadHistory:  make([]float64, e.HistLen),
-		WriteHistory: make([]float64, e.HistLen),
-		SizeGB:       e.SizeGB,
-		Tier:         e.tier,
+	s := State{SizeGB: e.SizeGB, Tier: e.tier}
+	if e.reuse {
+		if cap(e.histBuf[e.flip]) < e.HistLen {
+			e.histBuf[e.flip] = make([]float64, e.HistLen)
+			e.writeBuf[e.flip] = make([]float64, e.HistLen)
+		}
+		s.ReadHistory = e.histBuf[e.flip][:e.HistLen]
+		s.WriteHistory = e.writeBuf[e.flip][:e.HistLen]
+		e.flip = 1 - e.flip
+	} else {
+		s.ReadHistory = make([]float64, e.HistLen)
+		s.WriteHistory = make([]float64, e.HistLen)
 	}
 	for i := 0; i < e.HistLen; i++ {
 		d := e.day - e.HistLen + i

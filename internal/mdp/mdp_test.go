@@ -307,3 +307,105 @@ func BenchmarkFeatures(b *testing.B) {
 		s.Features()
 	}
 }
+
+// seriesEnv builds a deterministic multi-day request series for the
+// state-reuse tests.
+func seriesEnv(t *testing.T, days int) *Env {
+	t.Helper()
+	reads := make([]float64, days)
+	writes := make([]float64, days)
+	for d := range reads {
+		reads[d] = float64(100 + 37*d)
+		writes[d] = float64(3 + d%5)
+	}
+	return env(t, reads, writes)
+}
+
+// TestEnvStateReuseMatchesFresh walks two identical episodes — one with
+// recycled observations, one allocating — through an identical policy and
+// requires bitwise-identical states, rewards, and costs every step.
+func TestEnvStateReuseMatchesFresh(t *testing.T) {
+	const days = 12
+	fresh := seriesEnv(t, days)
+	reused := seriesEnv(t, days)
+	reused.EnableStateReuse()
+
+	sf, sr := fresh.Reset(), reused.Reset()
+	for d := 0; d < days; d++ {
+		for i := range sf.ReadHistory {
+			if sr.ReadHistory[i] != sf.ReadHistory[i] || sr.WriteHistory[i] != sf.WriteHistory[i] {
+				t.Fatalf("day %d: reused history diverges at %d", d, i)
+			}
+		}
+		if sr.Tier != sf.Tier || sr.SizeGB != sf.SizeGB {
+			t.Fatalf("day %d: reused static state diverges", d)
+		}
+		action := pricing.Tier(d % NumActions)
+		var rf, rr, cf, cr float64
+		var err error
+		sf, rf, cf, _, err = fresh.Step(action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, rr, cr, _, err = reused.Step(action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr != rf || cr != cf {
+			t.Fatalf("day %d: reward/cost diverge: %v/%v vs %v/%v", d, rr, cr, rf, cf)
+		}
+	}
+}
+
+// TestEnvStateReuseDoubleBuffer pins the documented lifetime: the State
+// returned before a Step stays intact through that Step (the env alternates
+// two buffers), so decide-then-step loops can read the old state after
+// receiving the new one.
+func TestEnvStateReuseDoubleBuffer(t *testing.T) {
+	e := seriesEnv(t, 8)
+	e.EnableStateReuse()
+	prev := e.Reset()
+	before := append([]float64(nil), prev.ReadHistory...)
+	next, _, _, _, err := e.Step(pricing.Cool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if prev.ReadHistory[i] != before[i] {
+			t.Fatalf("previous state clobbered at %d after one Step", i)
+		}
+	}
+	if &next.ReadHistory[0] == &prev.ReadHistory[0] {
+		t.Fatal("consecutive states share a buffer")
+	}
+}
+
+// TestEnvStateReuseStepAllocFree gates the per-step allocation budget: with
+// recycled observations, Reinit + a full episode of Steps allocates nothing
+// once the buffers are warm.
+func TestEnvStateReuseStepAllocFree(t *testing.T) {
+	e := seriesEnv(t, 10)
+	e.EnableStateReuse()
+	model, reads, writes := e.Model, e.Reads, e.Writes
+	run := func() {
+		if err := e.Reinit(model, 0.1, reads, writes, pricing.Hot, 4, DefaultReward()); err != nil {
+			t.Fatal(err)
+		}
+		s := e.Reset()
+		for {
+			next, _, _, done, err := e.Step(s.Tier)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+			s = next
+		}
+	}
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs != 0 {
+		t.Fatalf("reused-state episode allocates %.0f/op, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"minicost/internal/mat"
+	"minicost/internal/par"
 )
 
 // Batched backward: BackwardBatch back-propagates a whole batch of output
@@ -71,19 +72,29 @@ func (d *Dense) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 		d.bdx = mat.MulKOuterTo(d.bdx, dy, d.wView, workers)
 		return d.bdx
 	}
-	d.dyT = mat.TransposeTo(d.dyT, dy)
-	d.bxT = mat.TransposeTo(d.bxT, d.bx)
-	for o := 0; o < d.Out; o++ {
+	d.dyT = mat.TransposeParTo(d.dyT, dy, workers)
+	d.bxT = mat.TransposeParTo(d.bxT, d.bx, workers)
+	if parRows(d.Out, dy.Rows, workers) {
+		par.ForChunked(d.Out, workers, d.biasGradRows)
+	} else {
+		d.biasGradRows(0, d.Out)
+	}
+	mat.MulTransBAccTo(d.gView, d.dyT, d.bxT, workers)
+	d.wtpack = mat.PackTransposeParTo(d.wtpack, d.wView, workers)
+	d.bdx = mat.MulPackTransBBiasTo(d.bdx, dy, d.wtpack, nil, workers)
+	return d.bdx
+}
+
+// biasGradRows accumulates bias gradients for output neurons [lo, hi) from
+// the transposed gradient batch; neurons touch disjoint accumulators.
+func (d *Dense) biasGradRows(lo, hi int) {
+	for o := lo; o < hi; o++ {
 		s := d.b.Grad[o]
 		for _, g := range d.dyT.Row(o) {
 			s += g
 		}
 		d.b.Grad[o] = s
 	}
-	mat.MulTransBAccTo(d.gView, d.dyT, d.bxT, workers)
-	d.wtpack = mat.PackTransposeTo(d.wtpack, d.wView)
-	d.bdx = mat.MulPackTransBBiasTo(d.bdx, dy, d.wtpack, nil, workers)
-	return d.bdx
 }
 
 // BackwardBatch implements the batched gradient pass for Conv1D, reusing the
@@ -106,7 +117,30 @@ func (c *Conv1D) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 	if dy.Cols != c.Filters*ol || dy.Rows != c.brows {
 		panic(fmt.Sprintf("nn: Conv1D BackwardBatch %dx%d, want %dx%d", dy.Rows, dy.Cols, c.brows, c.Filters*ol))
 	}
-	for f := 0; f < c.Filters; f++ {
+	// Distinct filters own disjoint gradient elements, so the filter loop is
+	// the parallel axis; within one filter the (row, position) walk keeps the
+	// reference accumulation order.
+	if parRows(c.Filters, dy.Rows*ol, workers) {
+		par.ForChunked(c.Filters, workers, func(flo, fhi int) { c.filterGradSpan(dy, ol, flo, fhi) })
+	} else {
+		c.filterGradSpan(dy, ol, 0, c.Filters)
+	}
+	c.bdx = mat.EnsureShape(c.bdx, dy.Rows, c.InLen)
+	// Sample rows own disjoint input-gradient rows; each shard zeroes and
+	// then accumulates its own rows with the reference's f-outer/t-inner
+	// walk.
+	if parRows(dy.Rows, c.Filters*ol*c.Kernel, workers) {
+		par.ForChunked(dy.Rows, workers, func(rlo, rhi int) { c.inputGradRows(dy, ol, rlo, rhi) })
+	} else {
+		c.inputGradRows(dy, ol, 0, dy.Rows)
+	}
+	return c.bdx
+}
+
+// filterGradSpan accumulates weight and bias gradients for filters
+// [flo, fhi); distinct filters touch disjoint gradient elements.
+func (c *Conv1D) filterGradSpan(dy *mat.Matrix, ol, flo, fhi int) {
+	for f := flo; f < fhi; f++ {
 		gw := c.w.Grad[f*c.Kernel : (f+1)*c.Kernel]
 		bg := c.b.Grad[f]
 		for r := 0; r < dy.Rows; r++ {
@@ -125,11 +159,15 @@ func (c *Conv1D) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 		}
 		c.b.Grad[f] = bg
 	}
-	c.bdx = mat.EnsureShape(c.bdx, dy.Rows, c.InLen)
-	for i := range c.bdx.Data {
+}
+
+// inputGradRows zeroes and accumulates the input-gradient rows [rlo, rhi)
+// with the reference's f-outer/t-inner walk; rows are disjoint.
+func (c *Conv1D) inputGradRows(dy *mat.Matrix, ol, rlo, rhi int) {
+	for i := rlo * c.InLen; i < rhi*c.InLen; i++ {
 		c.bdx.Data[i] = 0
 	}
-	for r := 0; r < dy.Rows; r++ {
+	for r := rlo; r < rhi; r++ {
 		drow := dy.Row(r)
 		dxrow := c.bdx.Row(r)
 		for f := 0; f < c.Filters; f++ {
@@ -146,7 +184,6 @@ func (c *Conv1D) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 			}
 		}
 	}
-	return c.bdx
 }
 
 // BackwardBatch implements the batched gradient pass for ReLU: the retained
@@ -159,14 +196,24 @@ func (r *ReLU) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 		panic(fmt.Sprintf("nn: ReLU BackwardBatch %dx%d, want %dx%d", dy.Rows, dy.Cols, r.bx.Rows, r.bx.Cols))
 	}
 	r.bdx = mat.EnsureShape(r.bdx, dy.Rows, dy.Cols)
-	for i, g := range dy.Data {
+	if parRows(len(dy.Data), 1, workers) {
+		par.ForChunked(len(dy.Data), workers, func(lo, hi int) { r.backwardSpan(dy, lo, hi) })
+	} else {
+		r.backwardSpan(dy, 0, len(dy.Data))
+	}
+	return r.bdx
+}
+
+// backwardSpan masks the output gradient through the retained input for
+// elements [lo, hi).
+func (r *ReLU) backwardSpan(dy *mat.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		if r.bx.Data[i] > 0 {
-			r.bdx.Data[i] = g
+			r.bdx.Data[i] = dy.Data[i]
 		} else {
 			r.bdx.Data[i] = 0
 		}
 	}
-	return r.bdx
 }
 
 // BackwardBatch implements the batched gradient pass for Split: the leading

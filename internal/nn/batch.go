@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"minicost/internal/mat"
+	"minicost/internal/par"
 )
 
 // Batched forward: ForwardBatch runs a whole batch of samples (one per
@@ -45,6 +46,24 @@ import (
 // identical by the same accumulation-order contract.
 const packMinRows = 16
 
+// parMinFloats is the per-call element traffic below which the batched
+// layers' data-movement loops (im2col gather, layout restore, elementwise
+// activation, bias reduction) stay serial even when workers > 1: under ~16k
+// floats the goroutine fan-out costs more than the copy it shards.
+const parMinFloats = 1 << 14
+
+// parRows reports whether n independent work items (sample rows, filters,
+// output neurons) carrying floatsPerItem floats each are worth sharding over
+// workers. Call sites branch on it and build the par.ForChunked closure only
+// on the parallel side, so the serial (workers=1) hot path stays literally
+// allocation-free — a func literal handed to ForChunked escapes to the heap
+// even when the branch is never taken. Sharded items must write disjoint
+// outputs, and each item's own accumulation order is untouched, so results
+// are bitwise identical at any worker count.
+func parRows(n, floatsPerItem, workers int) bool {
+	return workers != 1 && n*floatsPerItem >= parMinFloats
+}
+
 // ForwardBatch implements the batched pass for Dense: Y = X·Wᵀ + b, one
 // fused GEMM over the whole batch. For batches of at least packMinRows the
 // weights are repacked into the SIMD kernel's tile layout (a small,
@@ -64,8 +83,7 @@ func (d *Dense) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 		d.by, d.bxt = mat.MulTransBBiasXTTo(d.by, d.bxt, x, d.wView, d.b.Value, workers)
 		return d.by
 	}
-	d.wpack = mat.PackTransBTo(d.wpack, d.wView)
-	d.by = mat.MulPackTransBBiasTo(d.by, x, d.wpack, d.b.Value, workers)
+	d.by, d.wpack = mat.GemmParallel(d.by, x, d.wView, d.b.Value, d.wpack, workers)
 	return d.by
 }
 
@@ -80,21 +98,42 @@ func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 	ol := c.outLen()
 	c.brows = x.Rows
 	c.col = mat.EnsureShape(c.col, x.Rows*ol, c.Kernel)
-	for r := 0; r < x.Rows; r++ {
+	if parRows(x.Rows, ol*c.Kernel, workers) {
+		par.ForChunked(x.Rows, workers, func(lo, hi int) { c.im2colRows(x, ol, lo, hi) })
+	} else {
+		c.im2colRows(x, ol, 0, x.Rows)
+	}
+	if c.wView == nil {
+		c.wView = &mat.Matrix{Rows: c.Filters, Cols: c.Kernel}
+	}
+	c.wView.Data = c.w.Value
+	c.wpack = mat.PackTransBParTo(c.wpack, c.wView, workers)
+	c.gemm = mat.MulPackTransBBiasTo(c.gemm, c.col, c.wpack, c.b.Value, workers)
+	c.by = mat.EnsureShape(c.by, x.Rows, c.Filters*ol)
+	if parRows(x.Rows, ol*c.Filters, workers) {
+		par.ForChunked(x.Rows, workers, func(lo, hi int) { c.restoreRows(ol, lo, hi) })
+	} else {
+		c.restoreRows(ol, 0, x.Rows)
+	}
+	return c.by
+}
+
+// im2colRows gathers the input windows for sample rows [lo, hi) into the
+// im2col buffer; rows write disjoint buffer spans.
+func (c *Conv1D) im2colRows(x *mat.Matrix, ol, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		xrow := x.Row(r)
 		base := r * ol * c.Kernel
 		for t := 0; t < ol; t++ {
 			copy(c.col.Data[base+t*c.Kernel:base+(t+1)*c.Kernel], xrow[t*c.Stride:t*c.Stride+c.Kernel])
 		}
 	}
-	if c.wView == nil {
-		c.wView = &mat.Matrix{Rows: c.Filters, Cols: c.Kernel}
-	}
-	c.wView.Data = c.w.Value
-	c.wpack = mat.PackTransBTo(c.wpack, c.wView)
-	c.gemm = mat.MulPackTransBBiasTo(c.gemm, c.col, c.wpack, c.b.Value, workers)
-	c.by = mat.EnsureShape(c.by, x.Rows, c.Filters*ol)
-	for r := 0; r < x.Rows; r++ {
+}
+
+// restoreRows copies the GEMM output back into the layer's channel-major
+// layout for sample rows [lo, hi); rows write disjoint output rows.
+func (c *Conv1D) restoreRows(ol, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		yrow := c.by.Row(r)
 		for t := 0; t < ol; t++ {
 			grow := c.gemm.Row(r*ol + t)
@@ -103,7 +142,6 @@ func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 			}
 		}
 	}
-	return c.by
 }
 
 // ForwardBatch implements the batched pass for ReLU (elementwise; the
@@ -111,14 +149,23 @@ func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 func (r *ReLU) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 	r.bx = x
 	r.by = mat.EnsureShape(r.by, x.Rows, x.Cols)
-	for i, v := range x.Data {
-		if v > 0 {
+	if parRows(len(x.Data), 1, workers) {
+		par.ForChunked(len(x.Data), workers, func(lo, hi int) { r.forwardSpan(x, lo, hi) })
+	} else {
+		r.forwardSpan(x, 0, len(x.Data))
+	}
+	return r.by
+}
+
+// forwardSpan applies the rectifier to elements [lo, hi).
+func (r *ReLU) forwardSpan(x *mat.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := x.Data[i]; v > 0 {
 			r.by.Data[i] = v
 		} else {
 			r.by.Data[i] = 0
 		}
 	}
-	return r.by
 }
 
 // ForwardBatch implements the batched pass for Split: the head columns are

@@ -172,13 +172,24 @@ func (n *Network) Clone() *Network {
 
 // Softmax returns the softmax of logits, computed stably.
 func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto writes the softmax of logits into out (same length, may not
+// alias) without allocating — the training and sampling hot paths reuse one
+// buffer per worker. The arithmetic is identical to Softmax.
+func SoftmaxInto(out, logits []float64) {
+	if len(out) != len(logits) {
+		panic(fmt.Sprintf("nn: SoftmaxInto out len %d, want %d", len(out), len(logits)))
+	}
 	maxV := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxV {
 			maxV = v
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, v := range logits {
 		e := math.Exp(v - maxV)
@@ -188,7 +199,6 @@ func Softmax(logits []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // Entropy returns the Shannon entropy (nats) of a probability vector.

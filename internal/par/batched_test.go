@@ -1,8 +1,12 @@
 package par
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"minicost/internal/obs"
 )
 
 // coverBatched runs ForBatched and records, per index, how often it was
@@ -80,5 +84,84 @@ func TestForBatchedSerialIsOrdered(t *testing.T) {
 		if chunks[i] != want[i] {
 			t.Fatalf("got %v want %v", chunks, want)
 		}
+	}
+}
+
+// TestForBatchedClampsWorkersToChunks is the fan-out-bound regression test:
+// asking for far more workers than there are chunks must spawn at most one
+// goroutine per chunk. Every chunk blocks inside fn until all are in
+// flight, a sampler reads the process goroutine count at that moment, and
+// the count may exceed the pre-call baseline by only chunks + the sampler.
+func TestForBatchedClampsWorkersToChunks(t *testing.T) {
+	const chunks = 4
+	baseline := runtime.NumGoroutine()
+	var arrived atomic.Int32
+	release := make(chan struct{})
+	sampled := make(chan int, 1)
+	go func() {
+		for arrived.Load() < chunks {
+			runtime.Gosched()
+		}
+		sampled <- runtime.NumGoroutine()
+		close(release)
+	}()
+	var visited [chunks]atomic.Int32
+	ForBatched(chunks, 1, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visited[i].Add(1)
+		}
+		arrived.Add(1)
+		<-release
+	})
+	got := <-sampled
+	// baseline + chunks workers + the sampler itself, plus one of slack for
+	// unrelated runtime goroutines.
+	if limit := baseline + chunks + 2; got > limit {
+		t.Fatalf("goroutines with %d chunks in flight = %d, want <= %d (workers not clamped to chunks)", chunks, got, limit)
+	}
+	for i := range visited {
+		if v := visited[i].Load(); v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+// TestFanOutMetrics pins the obs instrumentation: with the default registry
+// enabled, a parallel ForBatched advances the per-chunk latency histogram
+// and returns the active-workers gauge to its starting value; disabled, the
+// instruments stay untouched.
+func TestFanOutMetrics(t *testing.T) {
+	reg := obs.Default()
+	was := reg.Enabled()
+	t.Cleanup(func() { reg.SetEnabled(was) })
+
+	const n = 1 << 10
+	work := func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		_ = s
+	}
+
+	reg.SetEnabled(false)
+	before := reg.Snapshot()
+	ForBatched(n, 64, 4, work)
+	ForChunked(n, 4, work)
+	mid := reg.Snapshot()
+	if got := int64(mid.Histogram("minicost_par_chunk_seconds").Count) - int64(before.Histogram("minicost_par_chunk_seconds").Count); got != 0 {
+		t.Fatalf("disabled registry recorded %d chunks", got)
+	}
+
+	reg.SetEnabled(true)
+	ForBatched(n, 64, 4, work)
+	ForChunked(n, 4, work)
+	after := reg.Snapshot()
+	wantChunks := int64(n/64 + 4) // ForBatched chunks + ForChunked's one per worker
+	if got := int64(after.Histogram("minicost_par_chunk_seconds").Count) - int64(mid.Histogram("minicost_par_chunk_seconds").Count); got != wantChunks {
+		t.Fatalf("chunk histogram advanced by %d, want %d", got, wantChunks)
+	}
+	if g := after.Gauge("minicost_par_active_workers"); g != 0 {
+		t.Fatalf("active-workers gauge = %v after fan-outs drained, want 0", g)
 	}
 }

@@ -1,0 +1,47 @@
+package par
+
+import (
+	"time"
+
+	"minicost/internal/obs"
+)
+
+// parMetrics are the fan-out instruments (DESIGN.md §12): a gauge tracking
+// how many goroutines are currently executing inside par fan-outs — the
+// observable behind worker-scaling investigations ("is the machine actually
+// fanned out right now?") — and a per-chunk latency histogram that exposes
+// chunk-size imbalance (a wide spread means stragglers dominate the
+// barrier). They live in the default registry, which is off outside
+// daemons; the serial branches of every helper never touch them, and the
+// parallel branches check Enabled() once per call, so hot kernels pay one
+// atomic load when disabled.
+type parMetrics struct {
+	active *obs.Gauge
+	chunk  *obs.Histogram
+}
+
+var parMet = func() parMetrics {
+	reg := obs.Default()
+	return parMetrics{
+		active: reg.Gauge("minicost_par_active_workers",
+			"Goroutines currently executing inside par fan-outs."),
+		chunk: reg.Histogram("minicost_par_chunk_seconds",
+			"Per-chunk execution latency inside parallel fan-outs.",
+			obs.ExpBuckets(1e-6, 4, 12)),
+	}
+}()
+
+// fanOut records a fan-out of workers goroutines starting; the returned
+// function records it draining. Callers hold the record across the whole
+// parallel section.
+func fanOut(workers int) func() {
+	parMet.active.Add(float64(workers))
+	return func() { parMet.active.Add(-float64(workers)) }
+}
+
+// timedChunk runs fn(lo, hi) and records its wall time.
+func timedChunk(fn func(lo, hi int), lo, hi int) {
+	t0 := time.Now()
+	fn(lo, hi)
+	parMet.chunk.Observe(time.Since(t0).Seconds())
+}

@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"minicost/internal/obs"
 )
 
 // DefaultWorkers is the worker count used when a caller passes workers <= 0.
@@ -85,6 +87,10 @@ func ForChunked(n, workers int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	rec := obs.Default().Enabled()
+	if rec {
+		defer fanOut(workers)()
+	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	chunk := n / workers
@@ -97,7 +103,11 @@ func ForChunked(n, workers int, fn func(lo, hi int)) {
 		}
 		go func(lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
+			if rec {
+				timedChunk(fn, lo, hi)
+			} else {
+				fn(lo, hi)
+			}
 		}(lo, hi)
 		lo = hi
 	}
@@ -139,6 +149,10 @@ func ForBatched(n, batch, workers int, fn func(lo, hi int)) {
 		}
 		return
 	}
+	rec := obs.Default().Enabled()
+	if rec {
+		defer fanOut(workers)()
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -155,7 +169,11 @@ func ForBatched(n, batch, workers int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				fn(lo, hi)
+				if rec {
+					timedChunk(fn, lo, hi)
+				} else {
+					fn(lo, hi)
+				}
 			}
 		}()
 	}

@@ -46,6 +46,14 @@ type A3CConfig struct {
 	NSteps int
 	// Workers is the number of asynchronous actor-learners.
 	Workers int
+	// Parallelism bounds the intra-update GEMM fan-out on the batched path:
+	// it is the workers argument handed to every ForwardBatch/BackwardBatch
+	// inside one update. The default 0 (like 1) runs updates serially —
+	// A3C's parallelism conventionally comes from Workers — but a
+	// single-worker trainer on a big machine can parallelize inside each
+	// update instead. Any value leaves training bitwise unchanged: the
+	// parallel kernels shard only independent output elements (see mat).
+	Parallelism int
 	// GradClip bounds the global-update L2 norm; 0 disables.
 	GradClip float64
 	// NormalizeRewards divides rewards by a running RMS estimate before
@@ -118,6 +126,8 @@ func (c A3CConfig) Validate() error {
 		return fmt.Errorf("rl: NSteps %d", c.NSteps)
 	case c.Workers <= 0:
 		return fmt.Errorf("rl: Workers %d", c.Workers)
+	case c.Parallelism < 0:
+		return fmt.Errorf("rl: Parallelism %d", c.Parallelism)
 	case c.EntropyBeta < 0:
 		return fmt.Errorf("rl: EntropyBeta %v", c.EntropyBeta)
 	case c.LogitDecay < 0:
@@ -137,6 +147,14 @@ func (c A3CConfig) Validate() error {
 		return fmt.Errorf("rl: unknown optimizer %q", c.Optimizer)
 	}
 	return nil
+}
+
+// parallelism resolves the intra-update fan-out (0 means serial).
+func (c A3CConfig) parallelism() int {
+	if c.Parallelism <= 0 {
+		return 1
+	}
+	return c.Parallelism
 }
 
 func (c A3CConfig) newOptimizer() nn.Optimizer {
@@ -283,11 +301,38 @@ func (s TrainStats) MeanReward() float64 {
 	return s.RewardSum / float64(s.Steps)
 }
 
-// rollout is one worker-local n-step trajectory segment.
+// rollout is one worker-local n-step trajectory segment. Feature rows point
+// into one flat arena sized NSteps×featureDim up front, so collecting a
+// transition allocates nothing.
 type rollout struct {
 	features [][]float64
 	actions  []int
 	rewards  []float64
+	arena    []float64
+}
+
+// newRollout pre-sizes the segment for nsteps transitions of dim features.
+func newRollout(nsteps, dim int) *rollout {
+	return &rollout{
+		features: make([][]float64, 0, nsteps),
+		actions:  make([]int, 0, nsteps),
+		rewards:  make([]float64, 0, nsteps),
+		arena:    make([]float64, nsteps*dim),
+	}
+}
+
+// reset empties the segment, keeping the arena.
+func (b *rollout) reset() {
+	b.features = b.features[:0]
+	b.actions = b.actions[:0]
+	b.rewards = b.rewards[:0]
+}
+
+// nextFeatureRow returns the arena row for the next transition; the caller
+// fills it and commits the transition by appending it to features.
+func (b *rollout) nextFeatureRow(dim int) []float64 {
+	n := len(b.features)
+	return b.arena[n*dim : (n+1)*dim : (n+1)*dim]
 }
 
 // rewardNorm standardizes rewards with running mean/variance estimates so
@@ -320,10 +365,13 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 	critic := a.protoCritic.Clone()
 	agent := NewAgent(a.cfg.Net, actor)
 
+	featDim := a.cfg.Net.featureDim()
 	env := factory(r)
+	env.EnableStateReuse()
 	state := env.Reset()
 	var st TrainStats
-	buf := rollout{}
+	buf := newRollout(a.cfg.NSteps, featDim)
+	bootFeats := make([]float64, featDim)
 	var norm rewardNorm
 	stickyLeft := 0
 	var stickyAction pricing.Tier
@@ -355,12 +403,11 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 		critic.ZeroGrad()
 
 		// Collect up to NSteps transitions (lines 3–5).
-		buf.features = buf.features[:0]
-		buf.actions = buf.actions[:0]
-		buf.rewards = buf.rewards[:0]
+		buf.reset()
 		done := false
 		for len(buf.rewards) < a.cfg.NSteps {
-			feats := state.Features()
+			feats := buf.nextFeatureRow(featDim)
+			state.FeaturesInto(feats)
 			var action pricing.Tier
 			switch {
 			case stickyLeft > 0:
@@ -379,6 +426,7 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 			if err != nil {
 				// A finished env slipped through; start a fresh episode.
 				env = factory(r)
+				env.EnableStateReuse()
 				state = env.Reset()
 				stickyLeft = 0
 				break
@@ -399,6 +447,7 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 				done = true
 				st.Episodes++
 				env = factory(r)
+				env.EnableStateReuse()
 				state = env.Reset()
 				stickyLeft = 0
 				break
@@ -417,12 +466,13 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 		// V(s_{t+n}) otherwise.
 		boot := 0.0
 		if !done {
-			boot = critic.Forward(state.Features())[0]
+			state.FeaturesInto(bootFeats)
+			boot = critic.Forward(bootFeats)[0]
 		}
 		if a.cfg.SingleSample {
-			a.accumulateSingle(actor, critic, &buf, boot, dLogits)
+			a.accumulateSingle(actor, critic, buf, boot, dLogits)
 		} else {
-			a.accumulateBatched(actor, critic, &buf, boot, &bb)
+			a.accumulateBatched(actor, critic, buf, boot, &bb)
 		}
 
 		// Push accumulated gradients to the global parameters (Eq. 12); the

@@ -74,8 +74,24 @@ type Agent struct {
 	Net   NetConfig
 	actor *nn.Network
 
-	feats *mat.Matrix    // reused batch feature matrix (DecideTrace)
-	tiers []pricing.Tier // reused batch decision buffer
+	feats   *mat.Matrix    // reused batch feature matrix (DecideTrace)
+	tiers   []pricing.Tier // reused batch decision buffer
+	envs    []*mdp.Env     // reused per-file environments (DecideTrace)
+	states  []mdp.State    // reused per-file states (DecideTrace)
+	featBuf []float64      // reused single-sample feature encoding
+	probBuf []float64      // reused policy distribution (Sample)
+}
+
+// features encodes s into the agent's reused scratch buffer; the returned
+// slice is valid until the next Decide/Sample/Probabilities call.
+func (a *Agent) features(s *mdp.State) []float64 {
+	n := mdp.FeatureDim(len(s.ReadHistory))
+	if cap(a.featBuf) < n {
+		a.featBuf = make([]float64, n)
+	}
+	f := a.featBuf[:n]
+	s.FeaturesInto(f)
+	return f
 }
 
 // NewAgent wraps an actor network.
@@ -85,7 +101,7 @@ func NewAgent(cfg NetConfig, actor *nn.Network) *Agent {
 
 // Decide returns the greedy (argmax-probability) tier for the state.
 func (a *Agent) Decide(s *mdp.State) pricing.Tier {
-	logits := a.actor.Forward(s.Features())
+	logits := a.actor.Forward(a.features(s))
 	best := 0
 	for i := 1; i < len(logits); i++ {
 		if logits[i] > logits[best] {
@@ -95,17 +111,26 @@ func (a *Agent) Decide(s *mdp.State) pricing.Tier {
 	return pricing.Tier(best)
 }
 
-// Probabilities returns the policy distribution π(·|s).
+// Probabilities returns the policy distribution π(·|s). The returned slice
+// is freshly allocated (callers retain it); the sampling hot path uses the
+// scratch-backed probabilities inside Sample instead.
 func (a *Agent) Probabilities(s *mdp.State) []float64 {
-	return nn.Softmax(a.actor.Forward(s.Features()))
+	return nn.Softmax(a.actor.Forward(a.features(s)))
 }
 
-// Sample draws a tier from π(·|s) with ε-greedy exploration mixed in.
+// Sample draws a tier from π(·|s) with ε-greedy exploration mixed in. It is
+// allocation-free in steady state — the A3C workers call it every
+// environment step.
 func (a *Agent) Sample(s *mdp.State, epsilon float64, r *rng.RNG) pricing.Tier {
 	if epsilon > 0 && r.Float64() < epsilon {
 		return pricing.Tier(r.Intn(mdp.NumActions))
 	}
-	p := a.Probabilities(s)
+	logits := a.actor.Forward(a.features(s))
+	if cap(a.probBuf) < len(logits) {
+		a.probBuf = make([]float64, len(logits))
+	}
+	p := a.probBuf[:len(logits)]
+	nn.SoftmaxInto(p, logits)
 	u := r.Float64()
 	acc := 0.0
 	for i, v := range p {

@@ -49,9 +49,11 @@ func (a *Agent) DecideBatch(x *mat.Matrix, out []pricing.Tier, workers int) {
 
 // DecideTrace steps the files [lo, hi) of a trace through their episodes
 // with day-major batched decisions, writing each file's per-day plan into
-// out[lo:hi]. The agent's batch scratch (feature matrix, tier buffer) is
-// reused across calls, so a replica that serves many chunks reaches an
-// allocation-free steady state for the network math.
+// out[lo:hi]. The agent's serving scratch — feature matrix, tier buffer,
+// and the per-file environments themselves (recycled via mdp.Env.Reinit
+// with recycled observations) — is reused across calls, so a replica that
+// serves many chunks reaches a fully allocation-free steady state, which
+// the rl allocation tests pin down.
 func (a *Agent) DecideTrace(model *costmodel.Model, tr *trace.Trace, lo, hi int, initial pricing.Tier, histLen int, reward mdp.RewardConfig, out costmodel.Assignment, workers int) error {
 	b := hi - lo
 	if b <= 0 {
@@ -61,16 +63,24 @@ func (a *Agent) DecideTrace(model *costmodel.Model, tr *trace.Trace, lo, hi int,
 	if cap(a.tiers) < b {
 		a.tiers = make([]pricing.Tier, b)
 	}
+	if cap(a.envs) < b {
+		envs := make([]*mdp.Env, b)
+		copy(envs, a.envs)
+		a.envs = envs
+		a.states = make([]mdp.State, b)
+	}
 	tiers := a.tiers[:b]
-	envs := make([]*mdp.Env, b)
-	states := make([]mdp.State, b)
+	envs := a.envs[:b]
+	states := a.states[:b]
 	for i := 0; i < b; i++ {
-		env, err := mdp.NewEnv(model, tr.Files[lo+i].SizeGB, tr.Reads[lo+i], tr.Writes[lo+i], initial, histLen, reward)
-		if err != nil {
+		if envs[i] == nil {
+			envs[i] = &mdp.Env{}
+			envs[i].EnableStateReuse()
+		}
+		if err := envs[i].Reinit(model, tr.Files[lo+i].SizeGB, tr.Reads[lo+i], tr.Writes[lo+i], initial, histLen, reward); err != nil {
 			return err
 		}
-		envs[i] = env
-		states[i] = env.Reset()
+		states[i] = envs[i].Reset()
 		// Reuse a caller-provided plan (e.g. an arena-backed assignment slot)
 		// when it already has the right length.
 		if len(out[lo+i]) != tr.Days {

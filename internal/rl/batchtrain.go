@@ -129,6 +129,7 @@ type batchBuf struct {
 	feats *mat.Matrix // rollout features, reverse time order
 	dV    *mat.Matrix // critic output gradients (V - R per row)
 	dL    *mat.Matrix // actor logit gradients
+	probs []float64   // reused per-row softmax output
 }
 
 // accumulateBatched runs the n-step update as batched passes: one critic
@@ -140,18 +141,23 @@ type batchBuf struct {
 // The scalar loop reproduces the reference arithmetic term for term
 // (advantage clip, entropy bonus, logit decay); see the file comment for
 // why the row ordering makes the accumulated gradients bitwise identical.
-// GEMMs run serially (workers=1): parallelism comes from A3C's worker
-// fan-out, not from inside one update.
+// The GEMM fan-out follows A3CConfig.Parallelism (default serial: A3C's
+// parallelism conventionally comes from the worker fan-out, not from inside
+// one update); any setting leaves the gradients bitwise unchanged.
 func (a *A3C) accumulateBatched(actor, critic *nn.Network, buf *rollout, ret float64, bb *batchBuf) {
+	w := a.cfg.parallelism()
 	n := len(buf.rewards)
 	bb.feats = mat.EnsureShape(bb.feats, n, len(buf.features[0]))
 	for j := 0; j < n; j++ {
 		copy(bb.feats.Row(j), buf.features[n-1-j])
 	}
-	values := critic.ForwardBatch(bb.feats, 1)
-	logits := actor.ForwardBatch(bb.feats, 1)
+	values := critic.ForwardBatch(bb.feats, w)
+	logits := actor.ForwardBatch(bb.feats, w)
 	bb.dV = mat.EnsureShape(bb.dV, n, 1)
 	bb.dL = mat.EnsureShape(bb.dL, n, mdp.NumActions)
+	if cap(bb.probs) < mdp.NumActions {
+		bb.probs = make([]float64, mdp.NumActions)
+	}
 	for j := 0; j < n; j++ {
 		i := n - 1 - j
 		ret = buf.rewards[i] + a.cfg.Gamma*ret
@@ -167,7 +173,8 @@ func (a *A3C) accumulateBatched(actor, critic *nn.Network, buf *rollout, ret flo
 			adv = math.Max(-a.cfg.AdvClip, math.Min(a.cfg.AdvClip, adv))
 		}
 		lrow := logits.Row(j)
-		p := nn.Softmax(lrow)
+		p := bb.probs[:len(lrow)]
+		nn.SoftmaxInto(p, lrow)
 		h := nn.Entropy(p)
 		drow := bb.dL.Row(j)
 		for k := range drow {
@@ -182,6 +189,6 @@ func (a *A3C) accumulateBatched(actor, critic *nn.Network, buf *rollout, ret flo
 			drow[k] = grad
 		}
 	}
-	critic.BackwardBatch(bb.dV, 1)
-	actor.BackwardBatch(bb.dL, 1)
+	critic.BackwardBatch(bb.dV, w)
+	actor.BackwardBatch(bb.dL, w)
 }
