@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check check-parallel smoke-serve bench-inference bench-training bench-evaluation bench-scaling
+.PHONY: build test lint fuzz check check-parallel smoke-serve bench-inference bench-training bench-evaluation bench-scaling
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,30 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: formatting, vet, and the race detector across the
-# short test suite (which includes the pooled-replica and batched-inference
-# concurrency tests).
+# lint runs minicost-vet, the repo's own analyzer suite (determinism,
+# hotpath, shardcontract, obsnames, floatcmp). Zero findings is the gate;
+# legitimate exceptions carry //minicost: directives at the offending line.
+lint:
+	$(GO) run ./cmd/minicost-vet ./...
+
+# fuzz runs short native-fuzzing lanes over the two untrusted parsers: the
+# trace CSV loader and the /v1/observe JSON body. One package per
+# invocation (go test allows a single -fuzz pattern at a time).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzObserveBody -fuzztime $(FUZZTIME) ./internal/agentserver
+
+# check is the CI gate: formatting, vet, minicost-vet, and the race
+# detector across the short test suite (which includes the pooled-replica
+# and batched-inference concurrency tests).
 check:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race -short ./...
 
 # check-parallel runs the kernel-level packages with the race detector and a

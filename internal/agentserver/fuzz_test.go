@@ -1,0 +1,57 @@
+package agentserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"minicost/internal/pricing"
+)
+
+// FuzzObserveBody drives POST /v1/observe — the service's untrusted JSON
+// boundary — with arbitrary bodies. Invariants: the handler never panics,
+// always answers with a deliberate status (200, 4xx, or 413), and every
+// 200 carries a decodable ObserveResponse with sane counts.
+func FuzzObserveBody(f *testing.F) {
+	f.Add(`{"files":[{"id":"a","size_gb":0.1,"reads":2,"writes":0.1}]}`)
+	f.Add(`{"files":[]}`)
+	f.Add(`{"files":[{"id":"","size_gb":1}]}`)
+	f.Add(`{"files":[{"id":"a","size_gb":-1}]}`)
+	f.Add(`{"files":[{"id":"a","size_gb":1e308,"reads":1e308}]}`)
+	f.Add(`{"files":[{"id":"a","size_gb":null}]}`)
+	f.Add(`{"files":{"id":"a"}}`)
+	f.Add(`{nope`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(``)
+
+	s, err := New(testAgent(), pricing.Hot)
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/observe", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		switch rec.Code {
+		case http.StatusOK:
+			var resp ObserveResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.String(), err)
+			}
+			if resp.Accepted < 0 || resp.Tracked < 0 {
+				t.Fatalf("200 with nonsense counts: %+v", resp)
+			}
+		case http.StatusBadRequest, http.StatusRequestEntityTooLarge, http.StatusUnsupportedMediaType:
+			// Deliberate rejection of bad input.
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+	})
+}

@@ -263,9 +263,7 @@ func (s *Server) plan() (*PlanResponse, error) {
 	s.mu.Unlock()
 
 	feats := mat.New(len(ids), mdp.FeatureDim(s.histLen))
-	for i := range states {
-		states[i].FeaturesInto(feats.Row(i))
-	}
+	fillFeatures(states, feats)
 	tiers := make([]pricing.Tier, len(ids))
 	rep := s.pool.Get()
 	rep.DecideBatch(feats, tiers, 0)
@@ -296,6 +294,17 @@ func (s *Server) plan() (*PlanResponse, error) {
 	s.met.tracked.Set(float64(len(s.files)))
 	sw.Stop()
 	return resp, nil
+}
+
+// fillFeatures packs each snapshotted state's feature row into the batch
+// matrix that feeds rl.Agent.DecideBatch — the serving hot loop between the
+// state snapshot and the batched forward pass.
+//
+//minicost:hotpath
+func fillFeatures(states []mdp.State, feats *mat.Matrix) {
+	for i := range states {
+		states[i].FeaturesInto(feats.Row(i))
+	}
 }
 
 // padWindow left-pads a short history by repeating its first value, the

@@ -163,6 +163,7 @@ func New(m *costmodel.Model, cfg Config) (*Aggregator, error) {
 // Active returns the currently aggregated group indices (sorted).
 func (a *Aggregator) Active() []int {
 	out := make([]int, 0, len(a.active))
+	//minicost:allow-maprange keys are sorted before returning
 	for gi := range a.active {
 		out = append(out, gi)
 	}
@@ -202,6 +203,7 @@ func (a *Aggregator) Update(tr *trace.Trace, day int) (create, del []int, err er
 	for _, s := range scores {
 		byGroup[s.Group] = s
 	}
+	//minicost:allow-maprange per-group updates commute; create/del are sorted before returning
 	for gi := range a.active {
 		s, ok := byGroup[gi]
 		switch {

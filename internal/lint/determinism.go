@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// newDeterminism builds the determinism analyzer. Inside the packages listed
+// in DeterministicPackages it forbids the three classic reproducibility
+// leaks:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) — suppressible
+//     per line with //minicost:allow-wallclock for instrumentation code
+//     whose output is a measurement, not a decision;
+//   - math/rand and math/rand/v2 imports (internal/rng exists precisely so
+//     decision paths never touch the global, seed-racy generators);
+//   - `for range` over a map, whose iteration order differs run to run —
+//     suppressible per line with //minicost:allow-maprange when the loop's
+//     consumer provably sorts (the collect-keys-then-sort idiom).
+func newDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads, math/rand, and map iteration in deterministic packages",
+	}
+	a.Run = func(pass *Pass) {
+		if !DeterministicPackages[pass.PkgPath] {
+			return
+		}
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(),
+						"deterministic package imports %s; use minicost/internal/rng", path)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					obj := calleeObject(pass.Info, n)
+					for _, fn := range [...]string{"Now", "Since", "Until"} {
+						if isPkgFunc(obj, "time", fn) {
+							if !pass.Suppressed(DirectiveAllowWallclock, n.Pos()) {
+								pass.Reportf(n.Pos(),
+									"wall-clock read time.%s in deterministic package (annotate instrumentation with //minicost:%s)",
+									fn, DirectiveAllowWallclock)
+							}
+						}
+					}
+				case *ast.RangeStmt:
+					if t := pass.Info.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							if !pass.Suppressed(DirectiveAllowMapRange, n.Pos()) {
+								pass.Reportf(n.Pos(),
+									"map iteration order is nondeterministic; sort keys first or annotate with //minicost:%s",
+									DirectiveAllowMapRange)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

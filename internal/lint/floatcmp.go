@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// newFloatCmp builds the floatcmp analyzer. Direct ==/!= between two
+// non-constant floating-point operands is almost always a bug outside the
+// bitwise-equivalence test helpers (which live in _test.go files and are
+// not analyzed): accumulated rounding makes the comparison flaky, and the
+// repo's reproducibility story rests on explicit bitwise checks
+// (math.Float64bits) where exact equality is actually meant.
+//
+// Comparing a float against a compile-time constant (x == 0, lr != 1)
+// stays legal — sentinel and guard checks are deliberate exact comparisons
+// against values that were assigned, not computed. A deliberate
+// variable-to-variable exact comparison in non-test code can be annotated
+// with //minicost:allow-floatcmp.
+func newFloatCmp() *Analyzer {
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc:  "forbid ==/!= between non-constant floating-point operands",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.Info.TypeOf(be.X)) || !isFloat(pass.Info.TypeOf(be.Y)) {
+					return true
+				}
+				if isConstExpr(pass, be.X) || isConstExpr(pass, be.Y) {
+					return true
+				}
+				if pass.Suppressed(DirectiveAllowFloatCmp, be.Pos()) {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison between non-constant operands; use an epsilon or math.Float64bits (or annotate with //minicost:%s)",
+					be.Op, DirectiveAllowFloatCmp)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func isConstExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newHotpath builds the hotpath analyzer. A function whose doc comment
+// carries //minicost:hotpath is one of the allocation-free serve/train/eval
+// kernels gated at runtime by the PR-5 AllocsPerRun tests; this analyzer
+// turns those gates into per-line diagnostics by rejecting every construct
+// that can allocate or defeat inlining on such a function's body:
+//
+//   - capturing closures (the context struct escapes);
+//   - append (growth allocates; hot paths pre-size their buffers);
+//   - any call into package fmt (formatting allocates and takes interfaces);
+//   - defer (defer records allocate pre-devirtualization and delay frees);
+//   - concrete-to-interface conversions (boxing allocates for non-pointer
+//     payloads), whether by explicit conversion, assignment, or call
+//     argument;
+//   - map and slice composite literals (always heap- or at least
+//     growth-prone; arrays are fine).
+//
+// Arguments of panic() are exempt: shape-guard panics like
+// panic(fmt.Sprintf(...)) are cold by definition — when they run, the
+// program is dying and an allocation is irrelevant.
+//
+// Unannotated functions are untouched: annotate deliberately, then keep the
+// annotation honest.
+func newHotpath() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpath",
+		Doc:  "functions marked //minicost:hotpath must avoid allocating constructs",
+	}
+	a.Run = func(pass *Pass) {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !HasDirective(fd.Doc, DirectiveHotpath) {
+					continue
+				}
+				checkHotpathBody(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	cold := coldRanges(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if cold.covers(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot-path function %s", name)
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, n); capt != nil {
+				pass.Reportf(n.Pos(),
+					"closure in hot-path function %s captures %q (context allocation)", name, capt.Name())
+			}
+			return false // the literal's own body is not part of the annotated hot path
+		case *ast.CompositeLit:
+			if t := pass.Info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates in hot-path function %s", name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates in hot-path function %s", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, name, n)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // x, y := f() — conversions surface at the call site
+				}
+				lt := pass.Info.TypeOf(lhs)
+				rt := pass.Info.TypeOf(n.Rhs[i])
+				if boxesToInterface(lt, rt) {
+					pass.Reportf(n.Rhs[i].Pos(),
+						"assignment boxes %s into interface %s in hot-path function %s", rt, lt, name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, name string, call *ast.CallExpr) {
+	// Builtin append: growth allocates; the serve/train/eval kernels pre-size.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				pass.Reportf(call.Pos(), "append may grow and allocate in hot-path function %s", name)
+			}
+			return
+		}
+	}
+	if obj := calleeObject(pass.Info, call); obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hot-path function %s", fn.Name(), name)
+			return
+		}
+	}
+	// Explicit conversion to an interface type: I(x).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxesToInterface(tv.Type, pass.Info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "conversion boxes %s into interface %s in hot-path function %s",
+				pass.Info.TypeOf(call.Args[0]), tv.Type, name)
+		}
+		return
+	}
+	// Concrete arguments passed to interface parameters box at the call.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxesToInterface(pt, pass.Info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"argument boxes %s into interface %s in hot-path function %s",
+				pass.Info.TypeOf(arg), pt, name)
+		}
+	}
+}
+
+// posRanges is a set of [pos, end) source intervals.
+type posRanges [][2]token.Pos
+
+func (r posRanges) covers(pos token.Pos) bool {
+	for _, iv := range r {
+		if pos >= iv[0] && pos < iv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// coldRanges collects the source ranges of panic() arguments inside body:
+// code that only runs while the program dies is exempt from the hot-path
+// allocation rules.
+func coldRanges(pass *Pass, body *ast.BlockStmt) posRanges {
+	var out posRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			for _, arg := range call.Args {
+				out = append(out, [2]token.Pos{arg.Pos(), arg.End()})
+			}
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// boxesToInterface reports whether storing a value of type from into a
+// location of type to converts a concrete value to an interface.
+func boxesToInterface(to, from types.Type) bool {
+	if to == nil || from == nil || !isInterface(to) || isInterface(from) {
+		return false
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// capturedVar returns a variable the function literal references but does
+// not declare — i.e. a closure capture forcing a context allocation — or nil
+// if the literal is capture-free. Package-level variables are accessed
+// directly, not captured.
+func capturedVar(pass *Pass, lit *ast.FuncLit) *types.Var {
+	var capt *types.Var
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if capt != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if pass.Pkg != nil && v.Parent() == pass.Pkg.Scope() {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() >= lit.End() {
+			capt = v
+		}
+		return true
+	})
+	return capt
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// obsRegMethods maps each obs.Registry registration method to the metric
+// kind it creates at scrape time. Timer wraps a Histogram, so the two share
+// a kind: registering the same family through both is legal.
+var obsRegMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gaugefunc",
+	"Histogram": "histogram",
+	"Timer":     "histogram",
+}
+
+// obsRegistration records one registration call site for the cross-package
+// duplicate/kind checks.
+type obsRegistration struct {
+	name   string
+	kind   string
+	labels string // constant-label fingerprint, "" = unlabeled, "?" = dynamic
+	pos    token.Pos
+}
+
+// newObsNames builds the obsnames analyzer. Every metric registration on an
+// obs.Registry (Counter, Gauge, GaugeFunc, Histogram, Timer) must pass a
+// compile-time-constant name matching the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, so the exposition format never panics at the
+// first scrape and dashboards can grep the source for every family.
+//
+// Across the whole run it additionally flags (a) one name registered as two
+// different metric kinds (a guaranteed runtime panic in obs.lookup) and
+// (b) the same (name, constant label set) registered at more than one call
+// site — each family/series should have exactly one owner. Call sites whose
+// label values are not compile-time constants (e.g. a per-endpoint label
+// built in a helper) are exempt from (b) but still checked for (a).
+func newObsNames() *Analyzer {
+	a := &Analyzer{
+		Name: "obsnames",
+		Doc:  "metric names must be constant, grammar-valid, and uniquely registered",
+	}
+	var regs []obsRegistration
+	a.Run = func(pass *Pass) {
+		if pass.PkgPath == "minicost/internal/obs" {
+			// The registry implementation forwards names between its own
+			// constructors (Timer wraps Histogram); those are not
+			// registrations of new families.
+			return
+		}
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := obsRegMethods[sel.Sel.Name]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "minicost/internal/obs" {
+					return true
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					return true
+				}
+				name, isConst := constString(pass.Info, call.Args[0])
+				if !isConst {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name passed to obs %s registration must be a constant string", sel.Sel.Name)
+					return true
+				}
+				if !validMetricName(name) {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name %q does not match the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*", name)
+					return true
+				}
+				regs = append(regs, obsRegistration{
+					name:   name,
+					kind:   kind,
+					labels: labelFingerprint(pass.Info, sel.Sel.Name, call),
+					pos:    call.Args[0].Pos(),
+				})
+				return true
+			})
+		}
+	}
+	a.Finish = func(fset *token.FileSet, report func(Diagnostic)) {
+		sort.Slice(regs, func(i, j int) bool { return regs[i].pos < regs[j].pos })
+		kinds := make(map[string]obsRegistration)
+		series := make(map[string]obsRegistration)
+		for _, r := range regs {
+			if first, ok := kinds[r.name]; ok && first.kind != r.kind {
+				report(Diagnostic{
+					Pos:      fset.Position(r.pos),
+					Analyzer: "obsnames",
+					Message: fmt.Sprintf("metric %q registered as %s here but as %s at %s (obs.lookup panics on kind conflicts)",
+						r.name, r.kind, first.kind, fset.Position(first.pos)),
+				})
+				continue // one finding per site; the kind conflict subsumes duplication
+			} else if !ok {
+				kinds[r.name] = r
+			}
+			if r.labels == "?" {
+				continue // dynamic labels: distinct series per call, not statically comparable
+			}
+			key := r.name + "{" + r.labels + "}"
+			if first, ok := series[key]; ok {
+				report(Diagnostic{
+					Pos:      fset.Position(r.pos),
+					Analyzer: "obsnames",
+					Message: fmt.Sprintf("metric %q already registered at %s; each family needs exactly one owner",
+						key, fset.Position(first.pos)),
+				})
+				continue
+			}
+			series[key] = r
+		}
+	}
+	return a
+}
+
+// labelFingerprint renders the constant label arguments of a registration
+// call, or "?" when any label value is not a compile-time constant. Label
+// arguments start after the fixed ones: (name, help) for Counter / Gauge /
+// Timer, (name, help, fn) for GaugeFunc, (name, help, bounds) for Histogram.
+func labelFingerprint(info *types.Info, method string, call *ast.CallExpr) string {
+	fixed := 2
+	if method == "GaugeFunc" || method == "Histogram" {
+		fixed = 3
+	}
+	if len(call.Args) <= fixed {
+		return ""
+	}
+	out := ""
+	for _, arg := range call.Args[fixed:] {
+		k, v, ok := constLabel(info, arg)
+		if !ok {
+			return "?"
+		}
+		if out != "" {
+			out += ","
+		}
+		out += k + "=" + v
+	}
+	return out
+}
+
+// constLabel extracts a label built as obs.L(const, const) or a
+// Label{Key: const, Value: const} composite; anything else is dynamic.
+func constLabel(info *types.Info, arg ast.Expr) (k, v string, ok bool) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if isPkgFunc(calleeObject(info, e), "minicost/internal/obs", "L") && len(e.Args) == 2 {
+			k, kc := constString(info, e.Args[0])
+			v, vc := constString(info, e.Args[1])
+			if kc && vc {
+				return k, v, true
+			}
+		}
+	case *ast.CompositeLit:
+		var ke, ve ast.Expr
+		for i, el := range e.Elts {
+			if kv, isKV := el.(*ast.KeyValueExpr); isKV {
+				if id, isID := kv.Key.(*ast.Ident); isID {
+					switch id.Name {
+					case "Key":
+						ke = kv.Value
+					case "Value":
+						ve = kv.Value
+					}
+				}
+			} else if i == 0 {
+				ke = el
+			} else if i == 1 {
+				ve = el
+			}
+		}
+		k, kc := constString(info, ke)
+		v, vc := constString(info, ve)
+		if kc && vc {
+			return k, v, true
+		}
+	}
+	return "", "", false
+}
+
+// constString returns the compile-time string value of expr, if it has one.
+func constString(info *types.Info, expr ast.Expr) (string, bool) {
+	if expr == nil {
+		return "", false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// validMetricName mirrors obs.validName: the Prometheus metric-name grammar.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

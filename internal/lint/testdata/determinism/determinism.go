@@ -1,0 +1,44 @@
+// Package dettest seeds determinism violations for the analyzer tests. The
+// harness type-checks it under a deterministic import path (internal/mdp),
+// and separately under an unlisted path to prove the analyzer stays scoped.
+package dettest
+
+import (
+	"math/rand" // want "deterministic package imports math/rand; use minicost/internal/rng"
+	"time"
+)
+
+var _ = rand.Int
+
+func clocks() time.Duration {
+	t0 := time.Now()    // want "wall-clock read time.Now in deterministic package"
+	d := time.Since(t0) // want "wall-clock read time.Since in deterministic package"
+	d += time.Until(t0) // want "wall-clock read time.Until in deterministic package"
+	return d
+}
+
+// allowedClock is the trailing-directive negative case for allow-wallclock.
+func allowedClock() time.Time {
+	return time.Now() //minicost:allow-wallclock instrumentation reads the clock deliberately
+}
+
+// allowedClockStandalone is the standalone-directive negative case.
+func allowedClockStandalone() time.Time {
+	//minicost:allow-wallclock instrumentation reads the clock deliberately
+	return time.Now()
+}
+
+func mapRanges(m map[string]int, s []int) int {
+	sum := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		sum += v
+	}
+	//minicost:allow-maprange the consumer sorts; negative case for the directive
+	for k := range m {
+		sum += len(k)
+	}
+	for _, v := range s { // slices iterate in order: no finding
+		sum += v
+	}
+	return sum
+}

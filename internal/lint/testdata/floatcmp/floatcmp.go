@@ -1,0 +1,31 @@
+// Package floatcmptest seeds float-comparison violations for the analyzer
+// tests.
+package floatcmptest
+
+const eps = 1e-9
+
+func cmp(a, b float64, xs []float32, n int) bool {
+	if a == b { // want "floating-point == comparison between non-constant operands"
+		return true
+	}
+	if a != b { // want "floating-point != comparison between non-constant operands"
+		return false
+	}
+	if a == 0 { // comparing against a constant: sentinel checks are allowed
+		return true
+	}
+	if eps == a { // declared constants count too
+		return true
+	}
+	if xs[0] == xs[1] { // want "floating-point == comparison between non-constant operands"
+		return true
+	}
+	if n == 0 { // integers are exact: no finding
+		return false
+	}
+	//minicost:allow-floatcmp deliberate bitwise check; negative case for the directive
+	if a == b {
+		return true
+	}
+	return a == b //minicost:allow-floatcmp trailing-directive negative case
+}

@@ -1,0 +1,62 @@
+// Package hotpathtest seeds hot-path violations for the analyzer tests.
+package hotpathtest
+
+import "fmt"
+
+func release() {}
+
+func sink(v any) { _ = v }
+
+// hot carries the annotation and one of every violation class.
+//
+//minicost:hotpath
+func hot(xs []float64, n int) float64 {
+	defer release() // want "defer in hot-path function hot"
+	var sum float64
+	add := func() { sum++ } // want "closure in hot-path function hot captures .sum."
+	add()
+	xs = append(xs, 1) // want "append may grow and allocate in hot-path function hot"
+	fmt.Println(sum)   // want "fmt.Println allocates in hot-path function hot"
+	m := map[int]int{} // want "map literal allocates in hot-path function hot"
+	s := []int{n}      // want "slice literal allocates in hot-path function hot"
+	var i any
+	i = n        // want "assignment boxes int into interface any in hot-path function hot"
+	sink(n)      // want "argument boxes int into interface any in hot-path function hot"
+	_ = any(sum) // want "conversion boxes float64 into interface any in hot-path function hot"
+	_, _, _ = m, s, i
+	return sum + xs[0]
+}
+
+// hotClean is annotated but violation-free: flat loops, indexed writes,
+// non-capturing helpers, and a cold panic guard are all allowed.
+//
+//minicost:hotpath
+func hotClean(dst, src []float64) float64 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("hotpathtest: dst len %d, want %d", len(dst), len(src)))
+	}
+	sum := 0.0
+	for i, v := range src {
+		dst[i] = v * 2
+		sum += v
+	}
+	return sum
+}
+
+// cold repeats every violation without the annotation: the analyzer must
+// stay silent on unannotated functions.
+func cold(xs []float64, n int) float64 {
+	defer release()
+	var sum float64
+	add := func() { sum++ }
+	add()
+	xs = append(xs, 1)
+	fmt.Println(sum)
+	m := map[int]int{}
+	s := []int{n}
+	var i any
+	i = n
+	sink(n)
+	_, _, _ = m, s, i
+	return sum + xs[0]
+}

@@ -1,0 +1,23 @@
+// Package obstest seeds metric-registration violations for the analyzer
+// tests.
+package obstest
+
+import "minicost/internal/obs"
+
+const goodName = "obstest_requests_total"
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.Counter(goodName, "constant declared name: allowed")
+	reg.Counter("obstest-bad-name", "dashes") // want "does not match the Prometheus grammar"
+	reg.Counter(dynamic, "variable name")     // want "must be a constant string"
+	reg.Gauge("obstest_queue_depth", "fresh gauge: allowed")
+	reg.Gauge(goodName, "kind clash") // want "registered as gauge here but as counter"
+	reg.Counter(goodName, "dup site") // want "already registered"
+	reg.Counter("obstest_by_endpoint_total", "dynamic label value: exempt from dup check", obs.L("endpoint", dynamic))
+	reg.Counter("obstest_by_endpoint_total", "first constant series", obs.L("endpoint", "plan"))
+	reg.Counter("obstest_by_endpoint_total", "second owner", obs.L("endpoint", "plan")) // want "already registered"
+	reg.Counter("obstest_by_endpoint_total", "different constant series: allowed", obs.L("endpoint", "observe"))
+	reg.Timer("obstest_latency_seconds", "timers register histograms")
+	reg.Histogram("obstest_histogram_bounds", "explicit bounds", []float64{0.1, 1})
+	reg.GaugeFunc("obstest_staleness_seconds", "derived gauge", func() float64 { return 0 })
+}

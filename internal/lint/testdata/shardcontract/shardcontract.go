@@ -1,0 +1,63 @@
+// Package shardtest seeds shard-contract violations for the analyzer tests.
+package shardtest
+
+import "minicost/internal/par"
+
+var global int
+
+type acc struct{ total float64 }
+
+func workers(n int) ([]float64, float64) {
+	out := make([]float64, n)
+	var sum float64
+	count := 0
+	par.For(n, 4, func(i int) {
+		out[i] = float64(i) // indexed write to a captured output slice: allowed
+		v := float64(i)     // locals are free
+		v *= 2
+		sum += v // want "par worker writes captured .sum. directly"
+		count++  // want "par worker writes captured .count. directly"
+	})
+	_ = count
+	par.ForChunked(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = 1 // allowed
+		}
+	})
+	par.ForBatched(n, 8, 4, func(lo, hi int) {
+		total := 0.0 // chunk-local accumulator: allowed
+		for i := lo; i < hi; i++ {
+			total += out[i]
+		}
+		out[lo] = total // allowed
+	})
+	return out, sum
+}
+
+func fieldAndDeepWrites(n int, a *acc, outs [][]float64, p *float64) {
+	par.For(n, 2, func(i int) {
+		a.total++      // want "par worker writes captured .a. directly"
+		*p = 1         // want "par worker writes captured .p. directly"
+		outs[i][0] = 1 // indexed path through the captured slice: allowed
+		global++       // want "par worker writes package-level .global. directly"
+	})
+}
+
+// serialWrites is the negative case: the same writes outside a par worker
+// body are not the analyzer's business.
+func serialWrites(n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(i)
+		global++
+	}
+	return sum
+}
+
+func chunk(lo, hi int) {}
+
+// namedWorker passes a declared function, which cannot capture call-site
+// loop state: no findings.
+func namedWorker(n int) {
+	par.ForChunked(n, 2, chunk)
+}

@@ -91,6 +91,8 @@ func MulTransBBiasTo(dst, a, b *Matrix, bias []float64, workers int) *Matrix {
 // but the four chains hide FP-add latency and amortize the A loads, which is
 // where the batched engine's throughput over the single-sample matvec comes
 // from.
+//
+//minicost:hotpath
 func mulTransBBlock(dst, a, b *Matrix, bias []float64, lo, hi int) {
 	n, k := b.Rows, a.Cols
 	for j0 := 0; j0 < n; j0 += gemmColTile {
@@ -154,6 +156,8 @@ func MulTo(dst, a, b *Matrix, workers int) *Matrix {
 }
 
 // mulBlock fills output rows [lo, hi) with the k-outer streaming product.
+//
+//minicost:hotpath
 func mulBlock(dst, a, b *Matrix, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		arow := a.Data[r*a.Cols : (r+1)*a.Cols]

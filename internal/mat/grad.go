@@ -49,6 +49,8 @@ func TransposeParTo(dst, src *Matrix, workers int) *Matrix {
 
 // transposeRows writes source rows [lo, hi) into their strided destination
 // columns; shards touch disjoint elements.
+//
+//minicost:hotpath
 func transposeRows(dst, src *Matrix, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		row := src.Data[r*src.Cols : (r+1)*src.Cols]
@@ -119,6 +121,8 @@ const gradColTile = 256
 // row loop so every element accumulates its samples in ascending order, and
 // the column stripes keep the revisited b stripe cache-resident while dst
 // streams through exactly once.
+//
+//minicost:hotpath
 func mulTransAAccBlock(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
 	for c0 := 0; c0 < n; c0 += gradColTile {
@@ -173,6 +177,8 @@ func MulKOuterTo(dst, a, b *Matrix, workers int) *Matrix {
 // outermost inside each column stripe: the dst stripe stays cache-resident
 // across the whole k sweep while b's stripe streams through once, instead of
 // every k pass resweeping the full dst width out of L2.
+//
+//minicost:hotpath
 func mulKOuterBlock(dst, a, b *Matrix, lo, hi int) {
 	for c0 := lo; c0 < hi; c0 += gradColTile {
 		c1 := c0 + gradColTile
@@ -193,6 +199,8 @@ func mulKOuterBlock(dst, a, b *Matrix, lo, hi int) {
 // each accumulator is seeded from dst instead of a bias vector. Four
 // independent output columns run together to hide FP-add latency; every
 // element's own k-accumulation stays sequential.
+//
+//minicost:hotpath
 func mulTransBAccBlock(dst, a, b *Matrix, lo, hi int) {
 	n, k := b.Rows, a.Cols
 	for j0 := 0; j0 < n; j0 += gemmColTile {

@@ -58,6 +58,8 @@ func (s *State) Features() []float64 {
 // FeaturesInto encodes the state into dst, which must have length
 // FeatureDim(len(s.ReadHistory)). It performs no allocation — the batched
 // inference path uses it to pack feature rows directly into a batch matrix.
+//
+//minicost:hotpath
 func (s *State) FeaturesInto(dst []float64) {
 	h := len(s.ReadHistory)
 	if len(dst) != FeatureDim(h) {

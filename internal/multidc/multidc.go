@@ -83,6 +83,7 @@ func (d *Deployment) Partition(tr *trace.Trace) (map[string]*trace.Trace, error)
 		byDC[dc] = append(byDC[dc], i)
 	}
 	out := make(map[string]*trace.Trace, len(byDC))
+	//minicost:allow-maprange builds a map from a map; per-DC subsets are order-independent
 	for dc, idx := range byDC {
 		out[dc] = tr.Subset(idx)
 	}
@@ -104,6 +105,7 @@ func (d *Deployment) Evaluate(a policy.Assigner, tr *trace.Trace, initial pricin
 		return nil, costmodel.Breakdown{}, err
 	}
 	dcs := make([]string, 0, len(parts))
+	//minicost:allow-maprange keys are sorted before use
 	for dc := range parts {
 		dcs = append(dcs, dc)
 	}

@@ -87,6 +87,8 @@ func (d *Dense) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 
 // biasGradRows accumulates bias gradients for output neurons [lo, hi) from
 // the transposed gradient batch; neurons touch disjoint accumulators.
+//
+//minicost:hotpath
 func (d *Dense) biasGradRows(lo, hi int) {
 	for o := lo; o < hi; o++ {
 		s := d.b.Grad[o]
@@ -139,6 +141,8 @@ func (c *Conv1D) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 
 // filterGradSpan accumulates weight and bias gradients for filters
 // [flo, fhi); distinct filters touch disjoint gradient elements.
+//
+//minicost:hotpath
 func (c *Conv1D) filterGradSpan(dy *mat.Matrix, ol, flo, fhi int) {
 	for f := flo; f < fhi; f++ {
 		gw := c.w.Grad[f*c.Kernel : (f+1)*c.Kernel]
@@ -163,6 +167,8 @@ func (c *Conv1D) filterGradSpan(dy *mat.Matrix, ol, flo, fhi int) {
 
 // inputGradRows zeroes and accumulates the input-gradient rows [rlo, rhi)
 // with the reference's f-outer/t-inner walk; rows are disjoint.
+//
+//minicost:hotpath
 func (c *Conv1D) inputGradRows(dy *mat.Matrix, ol, rlo, rhi int) {
 	for i := rlo * c.InLen; i < rhi*c.InLen; i++ {
 		c.bdx.Data[i] = 0
@@ -206,6 +212,8 @@ func (r *ReLU) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 
 // backwardSpan masks the output gradient through the retained input for
 // elements [lo, hi).
+//
+//minicost:hotpath
 func (r *ReLU) backwardSpan(dy *mat.Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		if r.bx.Data[i] > 0 {

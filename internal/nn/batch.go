@@ -120,6 +120,8 @@ func (c *Conv1D) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 
 // im2colRows gathers the input windows for sample rows [lo, hi) into the
 // im2col buffer; rows write disjoint buffer spans.
+//
+//minicost:hotpath
 func (c *Conv1D) im2colRows(x *mat.Matrix, ol, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		xrow := x.Row(r)
@@ -132,6 +134,8 @@ func (c *Conv1D) im2colRows(x *mat.Matrix, ol, lo, hi int) {
 
 // restoreRows copies the GEMM output back into the layer's channel-major
 // layout for sample rows [lo, hi); rows write disjoint output rows.
+//
+//minicost:hotpath
 func (c *Conv1D) restoreRows(ol, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		yrow := c.by.Row(r)
@@ -158,6 +162,8 @@ func (r *ReLU) ForwardBatch(x *mat.Matrix, workers int) *mat.Matrix {
 }
 
 // forwardSpan applies the rectifier to elements [lo, hi).
+//
+//minicost:hotpath
 func (r *ReLU) forwardSpan(x *mat.Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		if v := x.Data[i]; v > 0 {

@@ -180,6 +180,8 @@ func Softmax(logits []float64) []float64 {
 // SoftmaxInto writes the softmax of logits into out (same length, may not
 // alias) without allocating — the training and sampling hot paths reuse one
 // buffer per worker. The arithmetic is identical to Softmax.
+//
+//minicost:hotpath
 func SoftmaxInto(out, logits []float64) {
 	if len(out) != len(logits) {
 		panic(fmt.Sprintf("nn: SoftmaxInto out len %d, want %d", len(out), len(logits)))

@@ -97,6 +97,8 @@ func (g Greedy) Assign(tr *trace.Trace, m *costmodel.Model, initial pricing.Tier
 // greedyPlan fills dst with the myopic per-day decisions, a flat loop over
 // the file's affine day-cost coefficients (candidate costs are grouped like
 // Breakdown.Total(), so decisions match the per-component Day path exactly).
+//
+//minicost:hotpath
 func greedyPlan(dst costmodel.Plan, c *costmodel.FileCoeffs, reads, writes []float64, initial pricing.Tier, oracle bool) {
 	cur := initial
 	for d := range reads {

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"math"
+
 	"minicost/internal/costmodel"
 	"minicost/internal/forecast"
 	"minicost/internal/par"
@@ -100,7 +102,7 @@ func forecastOrMean(hist []float64, horizon, p, d, q int) []float64 {
 			if v < 0 {
 				fc[i] = 0
 			}
-			if v != v { // NaN guard
+			if math.IsNaN(v) {
 				ok = false
 				break
 			}

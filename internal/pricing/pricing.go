@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Tier identifies a storage tier (the paper's storage "type").
@@ -219,11 +220,13 @@ func (c *Catalog) Get(datacenter string) (*Policy, bool) {
 // Len returns the number of registered datacenters.
 func (c *Catalog) Len() int { return len(c.policies) }
 
-// Datacenters returns the registered IDs (unordered).
+// Datacenters returns the registered IDs, sorted.
 func (c *Catalog) Datacenters() []string {
 	out := make([]string, 0, len(c.policies))
+	//minicost:allow-maprange keys are sorted before returning
 	for id := range c.policies {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }

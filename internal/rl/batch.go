@@ -30,6 +30,8 @@ const DefaultBatchRows = 256
 // workers bounds the intra-GEMM fan-out — pass 1 when the caller already
 // runs one DecideBatch per goroutine. Like Decide, it is not safe for
 // concurrent use on one Agent; use a ReplicaPool for that.
+//
+//minicost:hotpath
 func (a *Agent) DecideBatch(x *mat.Matrix, out []pricing.Tier, workers int) {
 	if len(out) < x.Rows {
 		panic(fmt.Sprintf("rl: DecideBatch out len %d < batch %d", len(out), x.Rows))

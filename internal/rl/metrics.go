@@ -62,14 +62,14 @@ var trainRate trainRateState
 
 func (t *trainRateState) begin(a *A3C) {
 	t.mu.Lock()
-	t.a3c, t.start, t.end, t.baseSteps = a, time.Now(), time.Time{}, a.Steps()
+	t.a3c, t.start, t.end, t.baseSteps = a, time.Now(), time.Time{}, a.Steps() //minicost:allow-wallclock steps/sec instrumentation, never feeds decisions
 	t.mu.Unlock()
 }
 
 func (t *trainRateState) finish(a *A3C) {
 	t.mu.Lock()
 	if t.a3c == a && t.end.IsZero() {
-		t.end = time.Now()
+		t.end = time.Now() //minicost:allow-wallclock steps/sec instrumentation, never feeds decisions
 	}
 	t.mu.Unlock()
 }
@@ -82,7 +82,7 @@ func (t *trainRateState) value() float64 {
 	}
 	until := t.end
 	if until.IsZero() {
-		until = time.Now()
+		until = time.Now() //minicost:allow-wallclock steps/sec instrumentation, never feeds decisions
 	}
 	elapsed := until.Sub(t.start).Seconds()
 	if elapsed <= 0 {
