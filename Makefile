@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint fuzz check check-parallel smoke-serve bench-inference bench-training bench-evaluation bench-scaling
+.PHONY: build test lint fuzz check check-parallel smoke-serve bench-inference bench-training bench-evaluation bench-serving bench-scaling
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,12 @@ bench-training:
 # Fig. 7 horizon evaluation on one core at the Quick and Full configs).
 bench-evaluation:
 	$(GO) run ./cmd/bench -mode evaluation -o BENCH_evaluation.json
+
+# bench-serving regenerates BENCH_serving.json (sharded serving tier:
+# observe ingestion throughput plus full vs incremental plan latency at
+# 100k and 1M tracked files, with a shard sweep at the small population).
+bench-serving:
+	$(GO) run ./cmd/bench -mode serving -o BENCH_serving.json
 
 # bench-scaling regenerates all three BENCH_*.json files including the
 # worker-scaling ladder (workers 1/2/4/8 with GOMAXPROCS pinned per row and

@@ -108,11 +108,12 @@ type evalResult struct {
 }
 
 type report struct {
-	Benchmark  string        `json:"benchmark"`
-	GoMaxProc  int           `json:"gomaxprocs"`
-	Results    []result      `json:"results,omitempty"`
-	Training   []trainResult `json:"training,omitempty"`
-	Evaluation []evalResult  `json:"evaluation,omitempty"`
+	Benchmark  string          `json:"benchmark"`
+	GoMaxProc  int             `json:"gomaxprocs"`
+	Results    []result        `json:"results,omitempty"`
+	Training   []trainResult   `json:"training,omitempty"`
+	Evaluation []evalResult    `json:"evaluation,omitempty"`
+	Serving    []servingResult `json:"serving,omitempty"`
 }
 
 // benchConfigs are the shared network shapes: the paper's architecture and
@@ -127,7 +128,7 @@ var benchConfigs = []struct {
 
 func main() {
 	var (
-		mode       = flag.String("mode", "inference", `"inference", "training", "evaluation" or "all"`)
+		mode       = flag.String("mode", "inference", `"inference", "training", "evaluation", "serving" or "all"`)
 		out        = flag.String("o", "", "output JSON path (default BENCH_<mode>.json; a prefix with -mode all)")
 		files      = flag.Int("files", 512, "files in the inference bench trace")
 		days       = flag.Int("days", 14, "trace days")
@@ -135,6 +136,7 @@ func main() {
 		trainSteps = flag.Int64("train-steps", 1024, "environment steps per training round")
 		workers    = flag.Int("workers", 1, "A3C workers in the training bench")
 		scaleFlag  = flag.String("scale-workers", "1,2,4,8", "comma-separated worker counts for the scaling rows; empty disables them")
+		serveFiles = flag.String("serve-files", "100000,1000000", "comma-separated tracked-file populations for the serving bench")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
@@ -154,7 +156,8 @@ func main() {
 	runInference := *mode == "inference" || all
 	runTraining := *mode == "training" || all
 	runEvaluation := *mode == "evaluation" || all
-	if !runInference && !runTraining && !runEvaluation {
+	runServing := *mode == "serving" || all
+	if !runInference && !runTraining && !runEvaluation && !runServing {
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
@@ -166,6 +169,16 @@ func main() {
 	}
 	if runEvaluation {
 		writeReport(outPath(*out, "evaluation", all), benchEvaluation(*rounds, scale))
+	}
+	if runServing {
+		populations, err := parseScale(*serveFiles)
+		if err != nil {
+			fatal(fmt.Errorf("-serve-files: %w", err))
+		}
+		if len(populations) == 0 {
+			fatal(fmt.Errorf("-serve-files: at least one population required"))
+		}
+		writeReport(outPath(*out, "serving", all), benchServing(populations, *rounds))
 	}
 
 	if err := stopProf(); err != nil {

@@ -1,0 +1,250 @@
+// Command loadgen drives an agent server with synthetic observe/plan
+// traffic and reports throughput and latency, so the serving tier can be
+// load-tested end to end — against a running minicostd (-addr) or an
+// in-process server when no address is given.
+//
+// Each simulated day sweeps the whole population: the day's observations
+// are split into -batch sized POSTs issued by -concurrency workers, then
+// every -plan-every days a plan is fetched (incremental by default,
+// -plan-full for full re-decisions). Observe request and plan latencies
+// land in internal/obs histograms; the run ends with a JSON summary on
+// stdout.
+//
+// Usage:
+//
+//	loadgen -files 100000 -days 8 -plan-every 4
+//	loadgen -addr http://localhost:8080 -files 50000 -days 14
+//	loadgen -files 1000000 -shards 32 -concurrency 8
+//	loadgen -min-observes 1 ...   # exit non-zero unless traffic landed (CI smoke)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minicost/internal/agentserver"
+	"minicost/internal/obs"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+)
+
+// summary is the run report printed as JSON.
+type summary struct {
+	Target      string `json:"target"` // "in-process" or the -addr URL
+	Files       int    `json:"files"`
+	Days        int    `json:"days"`
+	Batch       int    `json:"batch"`
+	Concurrency int    `json:"concurrency"`
+	FullPlans   bool   `json:"full_plans"`
+
+	ObservedFileDays   int64   `json:"observed_file_days"`
+	ObserveSeconds     float64 `json:"observe_seconds"`
+	ObserveFilesPerSec float64 `json:"observe_files_per_sec"`
+	ObserveP50MS       float64 `json:"observe_p50_ms"`
+	ObserveP99MS       float64 `json:"observe_p99_ms"`
+
+	Plans     int     `json:"plans"`
+	PlanP50MS float64 `json:"plan_p50_ms"`
+	PlanP99MS float64 `json:"plan_p99_ms"`
+	PlanAvgMS float64 `json:"plan_avg_ms"`
+	Decided   int64   `json:"decided_total"`
+
+	TrackedFiles int `json:"tracked_files"`
+	Shards       int `json:"shards"`
+	Duplicates   int `json:"duplicates_total"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "base URL of a running agent server; empty runs one in-process")
+		files       = flag.Int("files", 100000, "files in the synthetic population")
+		days        = flag.Int("days", 8, "simulated days (full population sweeps)")
+		batch       = flag.Int("batch", 8192, "files per observe request")
+		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "concurrent observe requests")
+		planEvery   = flag.Int("plan-every", 4, "fetch a plan every N days (0 = only after the last day)")
+		planFull    = flag.Bool("plan-full", false, "request full re-decisions (?full=1) instead of incremental plans")
+		shards      = flag.Int("shards", 0, "shard count for the in-process server (0 = default)")
+		histLen     = flag.Int("hist", 7, "history window of the in-process server's agent")
+		seed        = flag.Uint64("seed", 11, "workload seed")
+		minObserves = flag.Int64("min-observes", 0, "exit non-zero unless at least this many file-days were ingested")
+		out         = flag.String("o", "", "write the JSON summary here instead of stdout")
+	)
+	flag.Parse()
+	if *files < 1 || *days < 1 || *batch < 1 || *concurrency < 1 {
+		fatal(fmt.Errorf("files, days, batch and concurrency must be positive"))
+	}
+
+	target := *addr
+	if target == "" {
+		cfg := rl.NetConfig{HistLen: *histLen, Filters: 16, Kernel: 4, Stride: 1, Hidden: 32}
+		agent := rl.NewAgent(cfg, cfg.BuildActor(rng.New(*seed)))
+		srv, err := agentserver.NewWithConfig(agent, pricing.Hot, agentserver.Config{Shards: *shards})
+		if err != nil {
+			fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		target = ts.URL
+	}
+	client := agentserver.NewClient(target)
+
+	reg := obs.NewRegistry()
+	obsTimer := reg.Timer("loadgen_observe_seconds", "Observe request latency.")
+	planTimer := reg.Timer("loadgen_plan_seconds", "Plan request latency.")
+
+	sum := summary{
+		Files: *files, Days: *days, Batch: *batch,
+		Concurrency: *concurrency, FullPlans: *planFull,
+	}
+	if *addr == "" {
+		sum.Target = "in-process"
+	} else {
+		sum.Target = *addr
+	}
+
+	fetchPlan := func() {
+		sw := planTimer.Start()
+		var (
+			plan *agentserver.PlanResponse
+			err  error
+		)
+		if *planFull {
+			plan, err = client.PlanFull()
+		} else {
+			plan, err = client.Plan()
+		}
+		sw.Stop()
+		if err != nil {
+			fatal(err)
+		}
+		sum.Plans++
+		sum.Decided += int64(plan.Decided)
+	}
+
+	// Each day sweeps the population in batch-sized POSTs; workers claim
+	// batches off an atomic cursor. Reads follow a per-file deterministic
+	// pattern that drifts by day so every sweep dirties every file.
+	numBatches := (*files + *batch - 1) / *batch
+	workers := *concurrency
+	if workers > numBatches {
+		workers = numBatches
+	}
+	observeStart := time.Now()
+	for day := 0; day < *days; day++ {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		dups := make([]int64, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				req := &agentserver.ObserveRequest{Files: make([]agentserver.FileObservation, 0, *batch)}
+				for {
+					b := int(cursor.Add(1)) - 1
+					if b >= numBatches {
+						return
+					}
+					lo := b * *batch
+					hi := lo + *batch
+					if hi > *files {
+						hi = *files
+					}
+					req.Files = req.Files[:0]
+					for i := lo; i < hi; i++ {
+						req.Files = append(req.Files, synthObservation(i, day, *seed))
+					}
+					sw := obsTimer.Start()
+					resp, err := client.Observe(req)
+					sw.Stop()
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					dups[w] += int64(resp.Duplicates)
+					atomic.AddInt64(&sum.ObservedFileDays, int64(hi-lo))
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := range errs {
+			if errs[w] != nil {
+				fatal(errs[w])
+			}
+			sum.Duplicates += int(dups[w])
+		}
+		if *planEvery > 0 && (day+1)%*planEvery == 0 {
+			fetchPlan()
+		}
+	}
+	sum.ObserveSeconds = time.Since(observeStart).Seconds()
+	if sum.Plans == 0 {
+		fetchPlan()
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	sum.TrackedFiles = stats.TrackedFiles
+	sum.Shards = stats.Shards
+
+	snap := reg.Snapshot()
+	ho := snap.Histogram("loadgen_observe_seconds")
+	hp := snap.Histogram("loadgen_plan_seconds")
+	sum.ObserveFilesPerSec = float64(sum.ObservedFileDays) / sum.ObserveSeconds
+	sum.ObserveP50MS = ho.Quantile(0.5) * 1000
+	sum.ObserveP99MS = ho.Quantile(0.99) * 1000
+	sum.PlanP50MS = hp.Quantile(0.5) * 1000
+	sum.PlanP99MS = hp.Quantile(0.99) * 1000
+	if hp.Count > 0 {
+		sum.PlanAvgMS = hp.Sum / float64(hp.Count) * 1000
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&sum); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d file-days in %.2fs (%.0f files/s), %d plans p50=%.1fms p99=%.1fms\n",
+		sum.ObservedFileDays, sum.ObserveSeconds, sum.ObserveFilesPerSec, sum.Plans, sum.PlanP50MS, sum.PlanP99MS)
+
+	if sum.ObservedFileDays < *minObserves {
+		fatal(fmt.Errorf("ingested %d file-days, below -min-observes %d", sum.ObservedFileDays, *minObserves))
+	}
+}
+
+// synthObservation builds file i's day-d measurement: sizes spread over
+// three orders of magnitude, request rates on a weekly rhythm that drifts
+// per day so every sweep changes every file's features.
+func synthObservation(i, d int, seed uint64) agentserver.FileObservation {
+	r := rng.New(seed + uint64(i)*2654435761)
+	base := r.Float64()
+	return agentserver.FileObservation{
+		ID:     fmt.Sprintf("f%08d", i),
+		SizeGB: 0.01 + base*base*50,
+		Reads:  base * 2000 * float64(1+(i+d)%7) / 7,
+		Writes: base * 20 * float64(1+(i+d)%3) / 3,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -53,6 +53,8 @@ func main() {
 		metrics    = flag.Bool("metrics", true, "enable the obs registry and serve /metrics")
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof handlers")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		shards     = flag.Int("shards", 0, "tracked-state partitions, rounded up to a power of two (0 = default)")
+		maxBody    = flag.Int64("max-observe-bytes", 0, "cap on a /v1/observe request body in bytes (0 = default 8 MiB)")
 	)
 	flag.Parse()
 
@@ -78,7 +80,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "minicostd: checkpoint written to %s\n", *save)
 	}
 
-	srv, err := agentserver.New(agent, pricing.Hot)
+	srv, err := agentserver.NewWithConfig(agent, pricing.Hot, agentserver.Config{
+		Shards:          *shards,
+		MaxObserveBytes: *maxBody,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -99,7 +104,8 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Fprintf(os.Stderr, "minicostd: serving on %s (hist window %d days)\n", *addr, agent.Net.HistLen)
+	fmt.Fprintf(os.Stderr, "minicostd: serving on %s (hist window %d days, %d shards)\n",
+		*addr, agent.Net.HistLen, srv.Shards())
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

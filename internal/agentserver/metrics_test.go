@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -128,6 +129,117 @@ func TestObserveBodyCap(t *testing.T) {
 	}
 }
 
+// TestObserveBodyCapConfigurable pins Config.MaxObserveBytes: a tiny cap
+// trips 413 on a batch the default cap would accept.
+func TestObserveBodyCapConfigurable(t *testing.T) {
+	s, err := NewWithConfig(testAgent(), pricing.Hot, Config{MaxObserveBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	body := `{"files":[` +
+		`{"id":"aaaaaaaaaaaaaaaa","size_gb":0.1,"reads":1,"writes":1},` +
+		`{"id":"bbbbbbbbbbbbbbbb","size_gb":0.1,"reads":1,"writes":1},` +
+		`{"id":"cccccccccccccccc","size_gb":0.1,"reads":1,"writes":1}]}`
+	resp, err := http.Post(ts.URL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("capped observe = %d, want 413", resp.StatusCode)
+	}
+	// A batch under the cap still lands.
+	resp, err = http.Post(ts.URL+"/v1/observe", "application/json",
+		strings.NewReader(`{"files":[{"id":"x","size_gb":0.1,"reads":1,"writes":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small observe under custom cap = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestShardStatsAndDirtyMetrics covers the per-shard stats fields and the
+// duplicate/dirty instruments across an observe→plan→observe cycle.
+func TestShardStatsAndDirtyMetrics(t *testing.T) {
+	reg := withMetrics(t)
+	s, err := NewWithConfig(testAgent(), pricing.Hot, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Snapshot()
+	files := make([]FileObservation, 64)
+	for i := range files {
+		files[i] = obsv("f"+itoa(i), float64(i))
+	}
+	files = append(files, obsv("f0", 999)) // one in-batch duplicate
+	resp, err := s.Observe(&ObserveRequest{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1", resp.Duplicates)
+	}
+	after := reg.Snapshot()
+	if got := after.Counter("minicost_serve_duplicate_observations_total") -
+		before.Counter("minicost_serve_duplicate_observations_total"); got != 1 {
+		t.Errorf("duplicate counter delta = %v, want 1", got)
+	}
+	if got := after.Gauge("minicost_serve_shards"); got != 4 {
+		t.Errorf("shards gauge = %v, want 4", got)
+	}
+
+	st := s.Stats()
+	if st.Shards != 4 {
+		t.Fatalf("stats shards = %d, want 4", st.Shards)
+	}
+	if st.TrackedFiles != 64 || st.DirtyFiles != 64 {
+		t.Fatalf("tracked=%d dirty=%d, want 64/64", st.TrackedFiles, st.DirtyFiles)
+	}
+	if st.MinShardFiles > st.MaxShardFiles || st.MaxShardFiles <= 0 {
+		t.Fatalf("shard occupancy min=%d max=%d", st.MinShardFiles, st.MaxShardFiles)
+	}
+	if st.MaxShardDay != 1 || st.MinShardDay != 1 {
+		t.Fatalf("shard days min=%d max=%d, want 1/1", st.MinShardDay, st.MaxShardDay)
+	}
+	if got := after.Gauge("minicost_serve_dirty_files"); got != 64 {
+		t.Errorf("dirty gauge = %v, want 64", got)
+	}
+
+	// A plan drains the dirty set and counts its decisions. Files the plan
+	// transitioned are re-queued (their tier feature changed), so the
+	// post-plan dirty count equals the transition count.
+	plan, err := s.BuildPlan(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Decided != 64 || plan.Full {
+		t.Fatalf("plan decided=%d full=%v, want 64/false", plan.Decided, plan.Full)
+	}
+	if got := s.Stats().DirtyFiles; got != plan.Transition {
+		t.Fatalf("dirty after plan = %d, want transition count %d", got, plan.Transition)
+	}
+	drained := reg.Snapshot()
+	if got := drained.Counter("minicost_serve_plan_decisions_total") -
+		before.Counter("minicost_serve_plan_decisions_total"); got != 64 {
+		t.Errorf("decision counter delta = %v, want 64", got)
+	}
+	if got := drained.Gauge("minicost_serve_dirty_files"); got != float64(plan.Transition) {
+		t.Errorf("dirty gauge after plan = %v, want %d", got, plan.Transition)
+	}
+
+	// Observing one never-planned file dirties exactly one more.
+	if _, err := s.Observe(&ObserveRequest{Files: []FileObservation{obsv("latecomer", 1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().DirtyFiles; got != plan.Transition+1 {
+		t.Fatalf("dirty after single observe = %d, want %d", got, plan.Transition+1)
+	}
+}
+
 // BenchmarkObsOverhead is the tentpole's benchmark guard: the same
 // observe/plan server paths with the default registry disabled (the state
 // every non-daemon binary runs in) versus enabled. The disabled rows are
@@ -148,7 +260,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		for d := 0; d < 7; d++ {
-			if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {
+			if _, err := s.Observe(&ObserveRequest{Files: files}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -164,7 +276,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			req := &ObserveRequest{Files: files}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.observe(req); err != nil {
+				if _, err := s.Observe(req); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -174,7 +286,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			s := newServer(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.plan(); err != nil {
+				if _, err := s.BuildPlan(true); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"minicost/internal/par"
 	"minicost/internal/pricing"
 	"minicost/internal/rl"
 	"minicost/internal/rng"
@@ -17,28 +18,49 @@ func feedWeek(t *testing.T, s *Server, n int) {
 		files[i] = obsv("f"+itoa(i), float64(i*13%997))
 	}
 	for d := 0; d < 7; d++ {
-		if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {
+		if _, err := s.Observe(&ObserveRequest{Files: files}); err != nil {
 			t.Fatal(err)
 		}
 	}
 }
 
+// replicaBound is the most network copies one plan may borrow: one per
+// shard-fanout worker, and never more than the shard count.
+func replicaBound(s *Server) int64 {
+	w := par.DefaultWorkers()
+	if w > s.Shards() {
+		w = s.Shards()
+	}
+	return int64(w)
+}
+
 // TestPlanReplicasBoundedByConcurrency is the agentserver half of the
-// no-clone-per-request fix: serial plan requests share one pooled replica,
-// and concurrent ones are bounded by their own count.
+// no-clone-per-request fix: repeated plan requests must not grow the pool.
+// A plan borrows at most one replica per shard worker while deciding, and
+// an incremental plan with nothing dirty borrows none — so replica count
+// is pinned by peak concurrency × fan-out width, never by request volume.
 func TestPlanReplicasBoundedByConcurrency(t *testing.T) {
 	s, err := New(testAgent(), pricing.Hot)
 	if err != nil {
 		t.Fatal(err)
 	}
 	feedWeek(t, s, 50)
-	for i := 0; i < 10; i++ {
-		if _, err := s.plan(); err != nil {
+	if _, err := s.BuildPlan(false); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Stats().Replicas
+	if bound := replicaBound(s); base < 1 || base > bound {
+		t.Fatalf("first plan built %d replicas, want 1..%d", base, bound)
+	}
+	// Nine more serial plans with no new observations: the pool stays
+	// bounded by fan-out width, never by request volume.
+	for i := 0; i < 9; i++ {
+		if _, err := s.BuildPlan(false); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := s.stats().Replicas; got != 1 {
-		t.Fatalf("10 serial plans built %d replicas, want 1", got)
+	if got, bound := s.Stats().Replicas, replicaBound(s); got > bound {
+		t.Fatalf("10 serial plans built %d replicas, bound %d", got, bound)
 	}
 	const concurrent = 4
 	var wg sync.WaitGroup
@@ -47,7 +69,7 @@ func TestPlanReplicasBoundedByConcurrency(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				if _, err := s.plan(); err != nil {
+				if _, err := s.BuildPlan(true); err != nil {
 					t.Error(err)
 					return
 				}
@@ -55,8 +77,8 @@ func TestPlanReplicasBoundedByConcurrency(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := s.stats().Replicas; got > concurrent {
-		t.Fatalf("%d concurrent planners built %d replicas", concurrent, got)
+	if got, bound := s.Stats().Replicas, int64(concurrent)*replicaBound(s); got > bound {
+		t.Fatalf("%d concurrent full planners built %d replicas, bound %d", concurrent, got, bound)
 	}
 }
 
@@ -70,7 +92,7 @@ func TestUpdateAgentRefreshesDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	feedWeek(t, s, 200)
-	p1, err := s.plan()
+	p1, err := s.BuildPlan(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,16 +107,21 @@ func TestUpdateAgentRefreshesDecisions(t *testing.T) {
 		t.Fatal("UpdateAgent accepted nil")
 	}
 
-	// Swap in a differently-initialized agent; across 200 files with random
-	// weights some decision should differ, proving the new snapshot serves.
+	// Swap in a differently-initialized agent. The swap must mark every
+	// file dirty: cached decisions came from the old weights.
 	a2 := rl.NewAgent(cfg, cfg.BuildActor(rng.New(101)))
 	if err := s.UpdateAgent(a2); err != nil {
 		t.Fatal(err)
 	}
-	// Reset tiers drift: plan again twice — the first applies new decisions.
-	p2, err := s.plan()
+	if got := s.Stats().DirtyFiles; got != 200 {
+		t.Fatalf("post-swap dirty files = %d, want 200", got)
+	}
+	p2, err := s.BuildPlan(false)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if p2.Decided != 200 {
+		t.Fatalf("post-swap incremental plan decided %d files, want all 200", p2.Decided)
 	}
 	differs := false
 	for i := range p1.Files {
@@ -106,7 +133,7 @@ func TestUpdateAgentRefreshesDecisions(t *testing.T) {
 	if !differs && p2.Transition == 0 {
 		t.Log("note: swapped agent produced identical decisions (possible but unlikely)")
 	}
-	if got := s.stats().Replicas; got != 1 {
-		t.Fatalf("post-swap plan built %d replicas, want 1 (pool refreshed)", got)
+	if got, bound := s.Stats().Replicas, replicaBound(s); got < 1 || got > bound {
+		t.Fatalf("post-swap plan built %d replicas, want 1..%d (pool refreshed)", got, bound)
 	}
 }

@@ -6,9 +6,13 @@
 // storage types and the change of data size."
 //
 // The service ingests daily per-file observations (POST /v1/observe),
-// maintains each file's trailing frequency history, and produces tier
-// assignment plans (GET /v1/plan) with the greedy policy of the loaded
-// agent. Everything is stdlib net/http + encoding/json.
+// maintains each file's trailing frequency history in a sharded
+// struct-of-arrays store (store.go), and produces tier assignment plans
+// (GET /v1/plan) with the greedy policy of the loaded agent. Plans are
+// incremental by default: only files whose observed features changed since
+// the last plan are re-decided; the rest serve their cached assignment
+// (GET /v1/plan?full=1 forces a full re-decision — bitwise-identical, just
+// slower). Everything is stdlib net/http + encoding/json.
 package agentserver
 
 import (
@@ -17,22 +21,27 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
-	"minicost/internal/mat"
-	"minicost/internal/mdp"
 	"minicost/internal/obs"
+	"minicost/internal/par"
 	"minicost/internal/pricing"
 	"minicost/internal/rl"
 )
 
-// MaxObserveBytes caps a /v1/observe request body; larger payloads are
-// rejected with 413 before decoding. At ~100 bytes per file observation
-// this admits batches of ~80k files per day, far above the serving targets.
+// MaxObserveBytes is the default cap on a /v1/observe request body; larger
+// payloads are rejected with 413 before decoding. At ~100 bytes per file
+// observation this admits batches of ~80k files per day — raise it through
+// Config.MaxObserveBytes (minicostd -max-observe-bytes) for million-file
+// batches.
 const MaxObserveBytes = 8 << 20
+
+// ingestFanoutThreshold is the observe batch size below which ingestion
+// runs the shards serially: fanning goroutines out for a handful of files
+// costs more than the shard work.
+const ingestFanoutThreshold = 2048
 
 // FileObservation is one file's daily measurement.
 type FileObservation struct {
@@ -51,6 +60,11 @@ type ObserveRequest struct {
 type ObserveResponse struct {
 	Accepted int `json:"accepted"`
 	Tracked  int `json:"tracked"`
+	// Duplicates counts batch entries whose ID already appeared earlier in
+	// the same batch. Semantics are last-wins: the later entry replaces the
+	// earlier one's measurement for the day (the history window advances
+	// once per file per batch).
+	Duplicates int `json:"duplicates"`
 }
 
 // PlanEntry is one file's assignment in a plan.
@@ -68,6 +82,11 @@ type PlanResponse struct {
 	Files      []PlanEntry `json:"files"`
 	ElapsedMS  float64     `json:"elapsed_ms"`
 	Transition int         `json:"transitions"`
+	// Decided is how many files the plan actually re-decided; the rest
+	// served their cached assignment. Full reports whether this was a full
+	// re-decision (?full=1 or the first plan after a policy swap).
+	Decided int  `json:"decided"`
+	Full    bool `json:"full"`
 }
 
 // StatsResponse is the GET /v1/stats payload.
@@ -81,37 +100,58 @@ type StatsResponse struct {
 	// the current agent snapshot — bounded by peak request concurrency, not
 	// by request volume.
 	Replicas int64 `json:"replicas"`
+	// Shard occupancy: partition count, the most and least populated
+	// shard, and the pending-decision (dirty) total across shards.
+	Shards        int `json:"shards"`
+	MaxShardFiles int `json:"max_shard_files"`
+	MinShardFiles int `json:"min_shard_files"`
+	DirtyFiles    int `json:"dirty_files"`
+	// MaxShardDay/MinShardDay are the per-shard observe-batch counters;
+	// they diverge when observe batches only touch a subset of shards.
+	MaxShardDay int64 `json:"max_shard_day"`
+	MinShardDay int64 `json:"min_shard_day"`
 }
 
-// fileState is the server-side record of one tracked file.
-type fileState struct {
-	sizeGB float64
-	tier   pricing.Tier
-	reads  []float64 // trailing window, most recent last
-	writes []float64
+// Config tunes the serving state tier. The zero value selects the
+// defaults.
+type Config struct {
+	// Shards is the tracked-state partition count, rounded up to a power
+	// of two. 0 selects DefaultShards.
+	Shards int
+	// MaxObserveBytes caps a /v1/observe body. 0 selects MaxObserveBytes.
+	MaxObserveBytes int64
+	// Workers bounds the observe/plan shard fan-out. 0 selects
+	// par.DefaultWorkers at each call.
+	Workers int
 }
 
-// Server wraps an agent with observation state. Create with New, mount via
-// Handler.
+// Server wraps an agent with sharded observation state. Create with New or
+// NewWithConfig, mount via Handler.
 //
-// Serving uses a replica pool instead of one network per request: plan()
-// borrows a pooled replica, computes every decision with one batched
-// forward pass outside the state lock, and returns the replica — so
-// concurrent plan requests cost at most one network copy each at peak, and
-// repeated requests cost none. UpdateAgent refreshes the pool when a new
-// training snapshot lands.
+// Serving uses a replica pool instead of one network per request: BuildPlan
+// borrows a pooled replica per shard worker, computes decisions with
+// batched forward passes outside the shard locks, and returns the replicas
+// — so concurrent plan requests cost at most one network copy per worker at
+// peak, and repeated requests cost none. UpdateAgent refreshes the pool
+// when a new training snapshot lands and marks every file dirty so the
+// next plan re-decides the world under the new weights.
 type Server struct {
-	mu      sync.Mutex
 	pool    *rl.ReplicaPool
 	histLen int
 	initial pricing.Tier
-	files   map[string]*fileState
-	day     int
+	workers int
 
-	observations int64
-	plansServed  int64
-	lastPlanMS   float64
-	lastPlanAt   time.Time
+	shards    []*shard
+	shardMask uint32
+
+	maxObserveBytes int64
+
+	day          atomic.Int64
+	batchSeq     atomic.Uint64
+	observations atomic.Int64
+	plansServed  atomic.Int64
+	lastPlanUS   atomic.Int64 // microseconds; 0 until the first plan
+	lastPlanAt   atomic.Int64 // unix nanos; 0 until the first plan
 
 	met serveMetrics
 }
@@ -121,9 +161,12 @@ type Server struct {
 // one atomic load per op in tests and examples.
 type serveMetrics struct {
 	observations *obs.Counter
+	duplicates   *obs.Counter
 	plans        *obs.Counter
+	decisions    *obs.Counter
 	transitions  *obs.Counter
 	tracked      *obs.Gauge
+	shards       *obs.Gauge
 	planGen      *obs.Timer
 }
 
@@ -132,53 +175,109 @@ func newServeMetrics() serveMetrics {
 	return serveMetrics{
 		observations: reg.Counter("minicost_serve_observations_total",
 			"Per-file daily observations ingested via /v1/observe."),
+		duplicates: reg.Counter("minicost_serve_duplicate_observations_total",
+			"Observe-batch entries that duplicated an earlier ID in the same batch (last entry wins)."),
 		plans: reg.Counter("minicost_serve_plans_total",
 			"Assignment plans generated via /v1/plan."),
+		decisions: reg.Counter("minicost_serve_plan_decisions_total",
+			"Files re-decided by generated plans (incremental plans skip clean files)."),
 		transitions: reg.Counter("minicost_serve_transitions_total",
 			"Tier transitions the generated plans asked the operator to execute."),
 		tracked: reg.Gauge("minicost_serve_tracked_files",
 			"Files currently tracked by the agent server."),
+		shards: reg.Gauge("minicost_serve_shards",
+			"Tracked-state partitions in the serving store."),
 		planGen: reg.Timer("minicost_serve_plan_seconds",
-			"Plan generation time: state snapshot, batched forward pass, commit."),
+			"Plan generation time: dirty snapshot, batched forward passes, merge."),
 	}
 }
 
-// New builds a server around a trained agent. Files start in initial
-// (usually hot).
+// New builds a server around a trained agent with the default
+// configuration. Files start in initial (usually hot).
 func New(agent *rl.Agent, initial pricing.Tier) (*Server, error) {
+	return NewWithConfig(agent, initial, Config{})
+}
+
+// NewWithConfig builds a server with an explicit shard count, body cap,
+// and fan-out width.
+func NewWithConfig(agent *rl.Agent, initial pricing.Tier, cfg Config) (*Server, error) {
 	if agent == nil {
 		return nil, errors.New("agentserver: nil agent")
 	}
 	if !initial.Valid() {
 		return nil, errors.New("agentserver: invalid initial tier")
 	}
-	s := &Server{
-		pool:    rl.NewReplicaPool(agent.Clone()),
-		histLen: agent.Net.HistLen,
-		initial: initial,
-		files:   make(map[string]*fileState),
-		met:     newServeMetrics(),
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = DefaultShards
 	}
-	// Plan staleness is derived at scrape time; NaN until the first plan.
-	// Registered per server, newest instance wins (one server per daemon).
-	obs.Default().GaugeFunc("minicost_serve_plan_staleness_seconds",
+	if shards < 0 || shards > 1<<16 {
+		return nil, fmt.Errorf("agentserver: shard count %d out of range", cfg.Shards)
+	}
+	shards = ceilPow2(shards)
+	maxBytes := cfg.MaxObserveBytes
+	if maxBytes == 0 {
+		maxBytes = MaxObserveBytes
+	}
+	if maxBytes < 0 {
+		return nil, fmt.Errorf("agentserver: negative observe body cap %d", cfg.MaxObserveBytes)
+	}
+	s := &Server{
+		pool:            rl.NewReplicaPool(agent.Clone()),
+		histLen:         agent.Net.HistLen,
+		initial:         initial,
+		workers:         cfg.Workers,
+		shards:          make([]*shard, shards),
+		shardMask:       uint32(shards - 1),
+		maxObserveBytes: maxBytes,
+		met:             newServeMetrics(),
+	}
+	for i := range s.shards {
+		s.shards[i] = newShard(s.histLen)
+	}
+	s.met.shards.Set(float64(shards))
+	// Derived gauges are computed at scrape time. Registered per server,
+	// newest instance wins (one server per daemon).
+	reg := obs.Default()
+	reg.GaugeFunc("minicost_serve_plan_staleness_seconds",
 		"Seconds since the last plan was generated (NaN before the first).",
 		func() float64 {
-			s.mu.Lock()
-			at := s.lastPlanAt
-			s.mu.Unlock()
-			if at.IsZero() {
+			at := s.lastPlanAt.Load()
+			if at == 0 {
 				return math.NaN()
 			}
-			return time.Since(at).Seconds()
+			return time.Since(time.Unix(0, at)).Seconds()
+		})
+	reg.GaugeFunc("minicost_serve_dirty_files",
+		"Files whose features changed since the last plan (pending re-decision).",
+		func() float64 {
+			n := 0
+			for _, sh := range s.shards {
+				n += sh.dirtyCount()
+			}
+			return float64(n)
 		})
 	return s, nil
 }
 
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Shards returns the store's partition count.
+func (s *Server) Shards() int { return len(s.shards) }
+
 // UpdateAgent swaps in a fresh training snapshot. Pooled replicas of the
 // previous snapshot are invalidated; in-flight plans finish on the weights
-// they started with. The new agent must keep the history-window length the
-// observation state was built for.
+// they started with. Every tracked file is marked dirty — cached plan
+// decisions were made by the previous weights — so the next incremental
+// plan re-decides the full population. The new agent must keep the
+// history-window length the observation state was built for.
 func (s *Server) UpdateAgent(agent *rl.Agent) error {
 	if agent == nil {
 		return errors.New("agentserver: nil agent")
@@ -187,164 +286,195 @@ func (s *Server) UpdateAgent(agent *rl.Agent) error {
 		return fmt.Errorf("agentserver: snapshot hist window %d, server tracks %d", agent.Net.HistLen, s.histLen)
 	}
 	s.pool.Swap(agent.Clone())
+	for _, sh := range s.shards {
+		sh.markAllDirty()
+	}
 	return nil
 }
 
-// observe ingests one day's batch.
-func (s *Server) observe(req *ObserveRequest) (*ObserveResponse, error) {
-	if len(req.Files) == 0 {
+// Observe ingests one day's batch. The batch is validated up front and
+// rejected without mutation on any bad entry; ingestion then fans out
+// across the shards (par.ForShards), each shard applying its own entries
+// under its own lock — no global lock on the hot path. Duplicate IDs
+// within the batch are last-wins and counted in the response.
+func (s *Server) Observe(req *ObserveRequest) (*ObserveResponse, error) {
+	n := len(req.Files)
+	if n == 0 {
 		return nil, errors.New("agentserver: empty observation batch")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, f := range req.Files {
+	for i := range req.Files {
+		f := &req.Files[i]
 		if f.ID == "" {
 			return nil, errors.New("agentserver: observation without id")
 		}
-		if f.SizeGB <= 0 || f.Reads < 0 || f.Writes < 0 {
+		if !(f.SizeGB > 0) || f.Reads < 0 || f.Writes < 0 {
 			return nil, fmt.Errorf("agentserver: invalid observation for %q", f.ID)
 		}
-		st, ok := s.files[f.ID]
-		if !ok {
-			st = &fileState{tier: s.initial}
-			s.files[f.ID] = st
+	}
+	seq := s.batchSeq.Add(1)
+	dups := 0
+	if len(s.shards) == 1 {
+		dups = s.shards[0].ingestBatch(req.Files, nil, seq, s.initial)
+	} else {
+		offsets, order := s.bucketByShard(req.Files)
+		if n < ingestFanoutThreshold {
+			for si := range s.shards {
+				dups += s.shards[si].ingestBatch(req.Files, order[offsets[si]:offsets[si+1]], seq, s.initial)
+			}
+		} else {
+			perShard := make([]int, len(s.shards))
+			par.ForShards(len(s.shards), s.workers, func(si int) {
+				perShard[si] = s.shards[si].ingestBatch(req.Files, order[offsets[si]:offsets[si+1]], seq, s.initial)
+			})
+			for _, d := range perShard {
+				dups += d
+			}
 		}
-		st.sizeGB = f.SizeGB
-		st.reads = appendWindow(st.reads, f.Reads, s.histLen)
-		st.writes = appendWindow(st.writes, f.Writes, s.histLen)
-		s.observations++
 	}
-	s.day++
-	s.met.observations.Add(float64(len(req.Files)))
-	s.met.tracked.Set(float64(len(s.files)))
-	return &ObserveResponse{Accepted: len(req.Files), Tracked: len(s.files)}, nil
+	s.day.Add(1)
+	s.observations.Add(int64(n))
+	tracked := s.tracked()
+	s.met.observations.Add(float64(n))
+	s.met.duplicates.Add(float64(dups))
+	s.met.tracked.Set(float64(tracked))
+	return &ObserveResponse{Accepted: n, Tracked: tracked, Duplicates: dups}, nil
 }
 
-func appendWindow(w []float64, v float64, histLen int) []float64 {
-	w = append(w, v)
-	if len(w) > histLen {
-		w = w[len(w)-histLen:]
+// bucketByShard partitions batch positions by owning shard with a stable
+// counting sort, so each shard sees its entries in batch order (the
+// last-wins duplicate contract depends on that).
+func (s *Server) bucketByShard(files []FileObservation) (offsets []int32, order []int32) {
+	p := len(s.shards)
+	n := len(files)
+	home := make([]int32, n)
+	counts := make([]int32, p+1)
+	for i := range files {
+		si := int32(shardOf(files[i].ID, s.shardMask))
+		home[i] = si
+		counts[si+1]++
 	}
-	return w
+	for i := 1; i <= p; i++ {
+		counts[i] += counts[i-1]
+	}
+	pos := make([]int32, p)
+	for i := 1; i < p; i++ {
+		pos[i] = counts[i]
+	}
+	order = make([]int32, n)
+	for i := range home {
+		order[pos[home[i]]] = int32(i)
+		pos[home[i]]++
+	}
+	return counts, order
 }
 
-// plan produces the current assignment for every tracked file and commits
-// the decisions as the files' current tiers (the operator is assumed to
-// execute the plan, as System.Run does).
+// tracked sums the shard populations without taking any lock.
+func (s *Server) tracked() int {
+	n := int64(0)
+	for _, sh := range s.shards {
+		n += sh.files.Load()
+	}
+	return int(n)
+}
+
+// BuildPlan produces the current assignment for every tracked file and
+// commits the decisions as the files' current tiers (the operator is
+// assumed to execute the plan, as System.Run does).
 //
-// The state lock is held only to snapshot observations and to commit the
-// decided tiers; the batched forward pass over all files — the expensive
-// part — runs on a pooled replica with the lock released, so observation
-// ingestion and other plan requests are never blocked behind inference.
-func (s *Server) plan() (*PlanResponse, error) {
+// Incremental contract: with full=false only files marked dirty since the
+// last plan are re-decided; every other file serves the cached decision of
+// the plan that last saw its features. Because DecideBatch is bitwise
+// row-independent, the incremental plan equals the full re-plan bit for bit
+// (TestIncrementalPlanEqualsFull pins this at shard counts 1, 4, and 16).
+//
+// Each shard plans on its own goroutine: dirty snapshot and feature
+// packing under the shard lock, batched forward passes with it released,
+// commit and ID-ordered entry building under the lock again, then a P-way
+// merge produces the globally ID-sorted response.
+func (s *Server) BuildPlan(full bool) (*PlanResponse, error) {
 	sw := s.met.planGen.Start()
 	start := time.Now()
-	s.mu.Lock()
-	if len(s.files) == 0 {
-		s.mu.Unlock()
+	if s.tracked() == 0 {
 		return nil, errors.New("agentserver: no observations yet")
 	}
-	day := s.day
-	ids := make([]string, 0, len(s.files))
-	for id := range s.files {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	states := make([]mdp.State, len(ids))
-	for i, id := range ids {
-		st := s.files[id]
-		states[i] = mdp.State{
-			ReadHistory:  padWindow(st.reads, s.histLen),
-			WriteHistory: padWindow(st.writes, s.histLen),
-			SizeGB:       st.sizeGB,
-			Tier:         st.tier,
+	day := int(s.day.Load())
+	p := len(s.shards)
+	parts := make([][]PlanEntry, p)
+	decided := make([]int, p)
+	transitions := make([]int, p)
+	par.ForShards(p, s.workers, func(si int) {
+		sh := s.shards[si]
+		sh.planMu.Lock()
+		m := sh.snapshotDecisions(full)
+		if m > 0 {
+			rep := s.pool.Get()
+			sh.decide(rep.Agent, m)
+			s.pool.Put(rep)
 		}
-	}
-	s.mu.Unlock()
-
-	feats := mat.New(len(ids), mdp.FeatureDim(s.histLen))
-	fillFeatures(states, feats)
-	tiers := make([]pricing.Tier, len(ids))
-	rep := s.pool.Get()
-	rep.DecideBatch(feats, tiers, 0)
-	s.pool.Put(rep)
-
-	resp := &PlanResponse{Day: day, Files: make([]PlanEntry, 0, len(ids))}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, id := range ids {
-		tier := tiers[i]
-		changed := tier != states[i].Tier
-		if changed {
-			resp.Transition++
-		}
-		// Commit to files still tracked; a file observed away mid-plan just
-		// drops its entry's effect.
-		if st, ok := s.files[id]; ok {
-			st.tier = tier
-		}
-		resp.Files = append(resp.Files, PlanEntry{ID: id, Tier: tier.String(), Changed: changed})
+		epoch, trans := sh.commit(m)
+		parts[si] = sh.buildEntries(epoch)
+		sh.planMu.Unlock()
+		decided[si] = m
+		transitions[si] = trans
+	})
+	resp := &PlanResponse{Day: day, Files: mergeEntries(parts), Full: full}
+	for si := 0; si < p; si++ {
+		resp.Decided += decided[si]
+		resp.Transition += transitions[si]
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	s.plansServed++
-	s.lastPlanMS = resp.ElapsedMS
-	s.lastPlanAt = time.Now()
+	s.plansServed.Add(1)
+	s.lastPlanUS.Store(time.Since(start).Microseconds())
+	s.lastPlanAt.Store(time.Now().UnixNano())
 	s.met.plans.Inc()
+	s.met.decisions.Add(float64(resp.Decided))
 	s.met.transitions.Add(float64(resp.Transition))
-	s.met.tracked.Set(float64(len(s.files)))
+	s.met.tracked.Set(float64(s.tracked()))
 	sw.Stop()
 	return resp, nil
 }
 
-// fillFeatures packs each snapshotted state's feature row into the batch
-// matrix that feeds rl.Agent.DecideBatch — the serving hot loop between the
-// state snapshot and the batched forward pass.
-//
-//minicost:hotpath
-func fillFeatures(states []mdp.State, feats *mat.Matrix) {
-	for i := range states {
-		states[i].FeaturesInto(feats.Row(i))
-	}
-}
-
-// padWindow left-pads a short history by repeating its first value, the
-// same cold-start convention mdp.Env uses.
-func padWindow(w []float64, histLen int) []float64 {
-	if len(w) >= histLen {
-		return append([]float64(nil), w[len(w)-histLen:]...)
-	}
-	out := make([]float64, histLen)
-	first := 0.0
-	if len(w) > 0 {
-		first = w[0]
-	}
-	for i := 0; i < histLen-len(w); i++ {
-		out[i] = first
-	}
-	copy(out[histLen-len(w):], w)
-	return out
-}
-
-// stats snapshots counters.
-func (s *Server) stats() *StatsResponse {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return &StatsResponse{
-		TrackedFiles: len(s.files),
-		Observations: s.observations,
-		PlansServed:  s.plansServed,
-		LastPlanMS:   s.lastPlanMS,
+// Stats snapshots counters and shard occupancy.
+func (s *Server) Stats() *StatsResponse {
+	resp := &StatsResponse{
+		TrackedFiles: s.tracked(),
+		Observations: s.observations.Load(),
+		PlansServed:  s.plansServed.Load(),
+		LastPlanMS:   float64(s.lastPlanUS.Load()) / 1000,
 		HistLen:      s.histLen,
 		Replicas:     s.pool.Created(),
+		Shards:       len(s.shards),
 	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		files := len(sh.ids)
+		dirty := len(sh.dirty)
+		shDay := sh.day
+		sh.mu.Unlock()
+		resp.DirtyFiles += dirty
+		if i == 0 || files > resp.MaxShardFiles {
+			resp.MaxShardFiles = files
+		}
+		if i == 0 || files < resp.MinShardFiles {
+			resp.MinShardFiles = files
+		}
+		if i == 0 || shDay > resp.MaxShardDay {
+			resp.MaxShardDay = shDay
+		}
+		if i == 0 || shDay < resp.MinShardDay {
+			resp.MinShardDay = shDay
+		}
+	}
+	return resp
 }
 
 // Handler returns the HTTP mux:
 //
-//	POST /v1/observe  ingest one day's observations
-//	GET  /v1/plan     current assignment plan (commits decisions)
-//	GET  /v1/stats    counters
-//	GET  /v1/healthz  liveness
+//	POST /v1/observe        ingest one day's observations
+//	GET  /v1/plan[?full=1]  current assignment plan (commits decisions);
+//	                        full=1 forces re-deciding every file
+//	GET  /v1/stats          counters and shard occupancy
+//	GET  /v1/healthz        liveness
 //
 // Every endpoint is instrumented: request counts by endpoint and outcome
 // (minicost_http_requests_total) and a latency histogram per endpoint
@@ -362,19 +492,19 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, http.StatusUnsupportedMediaType, "Content-Type must be application/json")
 			return
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, MaxObserveBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxObserveBytes)
 		var req ObserveRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
 				httpError(w, http.StatusRequestEntityTooLarge,
-					fmt.Sprintf("observation batch exceeds %d bytes", MaxObserveBytes))
+					fmt.Sprintf("observation batch exceeds %d bytes", s.maxObserveBytes))
 				return
 			}
 			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
 			return
 		}
-		resp, err := s.observe(&req)
+		resp, err := s.Observe(&req)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -386,7 +516,16 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, http.StatusMethodNotAllowed, "GET required")
 			return
 		}
-		resp, err := s.plan()
+		full := false
+		switch v := r.URL.Query().Get("full"); v {
+		case "", "0", "false":
+		case "1", "true":
+			full = true
+		default:
+			httpError(w, http.StatusBadRequest, "full must be 0 or 1")
+			return
+		}
+		resp, err := s.BuildPlan(full)
 		if err != nil {
 			httpError(w, http.StatusConflict, err.Error())
 			return
@@ -394,7 +533,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, resp)
 	}))
 	mux.HandleFunc("/v1/stats", instrument("stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.stats())
+		writeJSON(w, s.Stats())
 	}))
 	mux.HandleFunc("/v1/healthz", instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

@@ -173,25 +173,120 @@ func TestConcurrentObserveAndPlan(t *testing.T) {
 	wg.Wait()
 }
 
-func TestWindowHelpers(t *testing.T) {
-	w := []float64{}
-	for i := 1; i <= 10; i++ {
-		w = appendWindow(w, float64(i), 7)
-	}
-	if len(w) != 7 || w[0] != 4 || w[6] != 10 {
-		t.Fatalf("window %v", w)
-	}
-	padded := padWindow([]float64{5, 6}, 5)
-	want := []float64{5, 5, 5, 5, 6}
-	for i := range want {
-		if padded[i] != want[i] {
-			t.Fatalf("padded %v", padded)
+// TestShardWindowRing pins the ring-buffer window semantics: oldest-first
+// order once full, left-padding with the first observed value while
+// filling, and all-zeros before any observation.
+func TestShardWindowRing(t *testing.T) {
+	sh := newShard(7)
+	slot := sh.addSlot("f")
+	sh.setInitialTier(slot, pricing.Hot)
+	rs := make([]float64, 7)
+	ws := make([]float64, 7)
+
+	sh.windowInto(slot, rs, ws)
+	for i := range rs {
+		if rs[i] != 0 || ws[i] != 0 {
+			t.Fatalf("empty window rs=%v ws=%v", rs, ws)
 		}
 	}
-	empty := padWindow(nil, 3)
-	for _, v := range empty {
-		if v != 0 {
-			t.Fatalf("empty pad %v", empty)
+
+	// Two observations: window left-pads with the first value.
+	sh.ingestOne(slot, 0.1, 5, 50)
+	sh.ingestOne(slot, 0.1, 6, 60)
+	sh.windowInto(slot, rs, ws)
+	wantR := []float64{5, 5, 5, 5, 5, 5, 6}
+	wantW := []float64{50, 50, 50, 50, 50, 50, 60}
+	for i := range wantR {
+		if rs[i] != wantR[i] || ws[i] != wantW[i] {
+			t.Fatalf("partial window rs=%v ws=%v", rs, ws)
+		}
+	}
+
+	// Ten observations through a 7-slot ring: only the trailing 7 survive,
+	// oldest first.
+	for v := 3.0; v <= 10; v++ {
+		sh.ingestOne(slot, 0.1, v, v*10)
+	}
+	sh.windowInto(slot, rs, ws)
+	for i := 0; i < 7; i++ {
+		want := float64(4 + i)
+		if rs[i] != want || ws[i] != want*10 {
+			t.Fatalf("full window rs=%v ws=%v", rs, ws)
+		}
+	}
+}
+
+// TestShardHashStable pins that shardOf is a pure function of the ID and
+// respects the mask.
+func TestShardHashStable(t *testing.T) {
+	const mask = 15
+	for _, id := range []string{"", "a", "file-123", "…unicode…"} {
+		a, b := shardOf(id, mask), shardOf(id, mask)
+		if a != b {
+			t.Fatalf("shardOf(%q) unstable: %d vs %d", id, a, b)
+		}
+		if a > mask {
+			t.Fatalf("shardOf(%q) = %d exceeds mask %d", id, a, mask)
+		}
+	}
+	if got := shardOf("anything", 0); got != 0 {
+		t.Fatalf("mask 0 must map to shard 0, got %d", got)
+	}
+}
+
+// TestNewWithConfigShardRounding pins power-of-two rounding and bounds.
+func TestNewWithConfigShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		s, err := NewWithConfig(testAgent(), pricing.Hot, Config{Shards: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Shards(); got != tc.want {
+			t.Errorf("Shards:%d rounded to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if _, err := NewWithConfig(testAgent(), pricing.Hot, Config{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := NewWithConfig(testAgent(), pricing.Hot, Config{MaxObserveBytes: -1}); err == nil {
+		t.Error("negative body cap accepted")
+	}
+}
+
+// TestObserveDuplicateLastWins pins the in-batch duplicate contract: the
+// later entry's measurement replaces the earlier one's for the day, the
+// history window advances once, and the response counts the duplicates.
+func TestObserveDuplicateLastWins(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		s, err := NewWithConfig(testAgent(), pricing.Hot, Config{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := s.Observe(&ObserveRequest{Files: []FileObservation{
+			obsv("dup", 1), obsv("solo", 7), obsv("dup", 2), obsv("dup", 3),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Tracked != 2 {
+			t.Fatalf("shards=%d tracked %d, want 2", shards, resp.Tracked)
+		}
+		if resp.Duplicates != 2 {
+			t.Fatalf("shards=%d duplicates %d, want 2", shards, resp.Duplicates)
+		}
+		// One observe day recorded for dup, holding the last value.
+		sh := s.shards[shardOf("dup", s.shardMask)]
+		slot := sh.index["dup"]
+		if got := sh.fill[slot]; got != 1 {
+			t.Fatalf("shards=%d dup fill %d, want 1 (window advanced once)", shards, got)
+		}
+		rs := make([]float64, s.histLen)
+		ws := make([]float64, s.histLen)
+		sh.windowInto(slot, rs, ws)
+		if rs[s.histLen-1] != 3 {
+			t.Fatalf("shards=%d dup last read %v, want 3 (last wins)", shards, rs[s.histLen-1])
 		}
 	}
 }
@@ -215,13 +310,13 @@ func BenchmarkPlan1kFiles(b *testing.B) {
 		files[i] = obsv("f"+itoa(i), float64(i))
 	}
 	for d := 0; d < 7; d++ {
-		if _, err := s.observe(&ObserveRequest{Files: files}); err != nil {
+		if _, err := s.Observe(&ObserveRequest{Files: files}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.plan(); err != nil {
+		if _, err := s.BuildPlan(true); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -76,6 +76,16 @@ func newObsNames() *Analyzer {
 				if recv == nil {
 					return true
 				}
+				// Only Registry methods register families; same-named
+				// read-side methods (Snapshot.Histogram, …) are lookups.
+				rt := recv.Type()
+				if p, ok := rt.(*types.Pointer); ok {
+					rt = p.Elem()
+				}
+				named, ok := rt.(*types.Named)
+				if !ok || named.Obj().Name() != "Registry" {
+					return true
+				}
 				name, isConst := constString(pass.Info, call.Args[0])
 				if !isConst {
 					pass.Reportf(call.Args[0].Pos(),

@@ -14,9 +14,10 @@ import (
 // those writes race or make the result depend on goroutine interleaving.
 //
 // The analyzer inspects every function-literal worker body passed to
-// par.For, par.ForChunked, or par.ForBatched and flags assignments and
-// ++/-- statements whose target's root identifier is captured from the
-// enclosing function without the write path crossing an index expression.
+// par.For, par.ForChunked, par.ForBatched, or par.ForShards and flags
+// assignments and ++/-- statements whose target's root identifier is
+// captured from the enclosing function without the write path crossing an
+// index expression.
 func newShardContract() *Analyzer {
 	a := &Analyzer{
 		Name: "shardcontract",
@@ -31,7 +32,7 @@ func newShardContract() *Analyzer {
 				}
 				obj := calleeObject(pass.Info, call)
 				isParFor := false
-				for _, fn := range [...]string{"For", "ForChunked", "ForBatched"} {
+				for _, fn := range [...]string{"For", "ForChunked", "ForBatched", "ForShards"} {
 					if isPkgFunc(obj, "minicost/internal/par", fn) {
 						isParFor = true
 					}

@@ -31,6 +31,10 @@ func workers(n int) ([]float64, float64) {
 		}
 		out[lo] = total // allowed
 	})
+	par.ForShards(4, 2, func(s int) {
+		out[s] = float64(s) // indexed write: allowed
+		sum += 1            // want "par worker writes captured .sum. directly"
+	})
 	return out, sum
 }
 

@@ -45,3 +45,11 @@ func timedChunk(fn func(lo, hi int), lo, hi int) {
 	fn(lo, hi)
 	parMet.chunk.Observe(time.Since(t0).Seconds())
 }
+
+// timedShard runs fn(s) and records its wall time on the chunk histogram —
+// one shard is one chunk of a ForShards fan-out.
+func timedShard(fn func(s int), s int) {
+	t0 := time.Now()
+	fn(s)
+	parMet.chunk.Observe(time.Since(t0).Seconds())
+}

@@ -69,6 +69,58 @@ func For(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForShards runs fn(s) for every shard s in [0, n) using at most workers
+// goroutines. Unlike For, it never degrades to a serial loop on small n:
+// shard counts are small by construction — each shard is a coarse unit of
+// work guarding its own state (a lock, a partition of a store) — so the
+// fan-out must happen even for n of 4 or 16, exactly the range For's
+// serial threshold would swallow. Shards are handed out dynamically
+// (atomic counter), so uneven shard occupancy still balances.
+//
+// workers <= 0 selects DefaultWorkers(). It blocks until every shard
+// completes.
+func ForShards(n, workers int, fn func(s int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for s := 0; s < n; s++ {
+			fn(s)
+		}
+		return
+	}
+	rec := obs.Default().Enabled()
+	if rec {
+		defer fanOut(workers)()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= n {
+					return
+				}
+				if rec {
+					timedShard(fn, s)
+				} else {
+					fn(s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ForChunked runs fn(lo, hi) over contiguous half-open chunks [lo, hi) that
 // partition [0, n). Each chunk is processed by one goroutine; chunks are
 // sized n/workers (±1). Use it when per-item work is tiny and uniform so the

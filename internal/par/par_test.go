@@ -2,6 +2,7 @@ package par
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -18,6 +19,48 @@ func TestForVisitsEveryIndexOnce(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestForShardsVisitsEveryShardOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 4, 16, 63, 200} {
+		for _, w := range []int{-1, 1, 2, 16, 500} {
+			seen := make([]atomic.Int32, max(n, 1))
+			ForShards(n, w, func(s int) { seen[s].Add(1) })
+			for s := 0; s < n; s++ {
+				if got := seen[s].Load(); got != 1 {
+					t.Fatalf("n=%d w=%d shard %d visited %d times", n, w, s, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForShardsFansOutSmallN pins the property ForShards exists for: a
+// shard count far below For's serial threshold still runs on multiple
+// goroutines when workers allow it.
+func TestForShardsFansOutSmallN(t *testing.T) {
+	const n = 8
+	var (
+		start   = make(chan struct{})
+		release sync.Once
+		arrived atomic.Int32
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ForShards(n, n, func(s int) {
+			// Every shard blocks until at least two goroutines are inside the
+			// fan-out: impossible on a serial degrade.
+			if arrived.Add(1) >= 2 {
+				release.Do(func() { close(start) })
+			}
+			<-start
+		})
+	}()
+	<-done
+	if arrived.Load() != n {
+		t.Fatalf("ForShards visited %d shards, want %d", arrived.Load(), n)
 	}
 }
 

@@ -68,6 +68,12 @@ for family in \
     fi
 done
 
+# Load generator against the live daemon: ingests a small population over
+# a few simulated days with interleaved plans, and fails (non-zero exit)
+# unless observe traffic actually landed.
+echo "smoke-serve: loadgen traffic (500 files x 3 days)"
+go run ./cmd/loadgen -addr "$BASE" -files 500 -days 3 -batch 200 -plan-every 2 -min-observes 1 >/dev/null
+
 # Graceful shutdown: SIGTERM must drain and exit cleanly.
 kill -TERM "$PID"
 wait "$PID"
