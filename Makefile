@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint fuzz check check-parallel smoke-serve bench-inference bench-training bench-evaluation bench-serving bench-scaling
+.PHONY: build test lint fuzz check check-parallel smoke-serve bench-inference bench-training bench-envs bench-evaluation bench-serving bench-scaling
 
 build:
 	$(GO) build ./...
@@ -54,9 +54,16 @@ bench-inference:
 	$(GO) run ./cmd/bench
 
 # bench-training regenerates BENCH_training.json (single-sample vs batched
-# A3C training engine at the paper and Quick configs, one worker).
+# A3C training engine at the paper and Quick configs, one worker, plus the
+# envs-per-worker ladder of the vectorized lockstep engine).
 bench-training:
 	$(GO) run ./cmd/bench -mode training -o BENCH_training.json
+
+# bench-envs reruns the training bench with the envs-per-worker ladder only
+# (flag last-wins, so BENCH_ENVS_FLAGS can override the ladder, e.g.
+# BENCH_ENVS_FLAGS="-envs 1,8 -train-steps 2000 -rounds 1" for a CI smoke).
+bench-envs:
+	$(GO) run ./cmd/bench -mode training -o BENCH_training.json -scale-workers "" $(BENCH_ENVS_FLAGS)
 
 # bench-evaluation regenerates BENCH_evaluation.json (per-window vs swept
 # Fig. 7 horizon evaluation on one core at the Quick and Full configs).

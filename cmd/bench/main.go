@@ -17,7 +17,16 @@
 // Every mode additionally emits worker-scaling rows: the fast engine rerun
 // at each -scale-workers count with GOMAXPROCS pinned to that count, tagged
 // with a scaling_efficiency field ((throughput_w / throughput_base) × base/w,
-// so perfect linear scaling reads 1.0).
+// so perfect linear scaling reads 1.0). Every row also records the effective
+// gomaxprocs it ran under, with oversubscribed=true when that width exceeds
+// the machine's real cores — on a single-core container a "workers=8" row
+// measures goroutine multiplexing, not parallel scaling, and says so.
+//
+// Training mode additionally emits an envs-per-worker ladder: the vectorized
+// lockstep engine (A3CConfig.EnvsPerWorker) rerun at each -envs width on one
+// worker, tagged with a speedup_vs_e1 field — unlike the worker ladder this
+// is a single-core batching lever, so its gains are real even when
+// oversubscribed would flag the worker rows.
 //
 // Usage:
 //
@@ -28,6 +37,7 @@
 //	bench -o results.json        # alternate output path; with -mode all the
 //	                             # path is a prefix (results_inference.json …)
 //	bench -scale-workers 1,2,4   # alternate scaling ladder ("" disables)
+//	bench -envs 1,8,32           # alternate envs-per-worker ladder ("" disables)
 //	bench -files 1024 -days 28   # heavier inference workload
 //	bench -cpuprofile cpu.pprof  # profile the benchmarked paths
 package main
@@ -72,6 +82,12 @@ type result struct {
 	// ScalingEfficiency is set on worker-scaling rows: throughput relative
 	// to the ladder's base worker count, normalized so linear scaling is 1.
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	// GoMaxProcs is the effective scheduler width this row ran under (the
+	// pinned ladder width, or the ambient process width elsewhere);
+	// Oversubscribed flags rows whose width exceeds the machine's real
+	// cores, where the row measures multiplexing rather than scaling.
+	GoMaxProcs     int  `json:"gomaxprocs"`
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // trainResult is one (config, engine) training measurement.
@@ -82,14 +98,22 @@ type trainResult struct {
 	Hidden      int     `json:"hidden"`
 	NSteps      int     `json:"n_steps"`
 	Workers     int     `json:"workers"`
-	Engine      string  `json:"engine"` // "single" or "batched"
+	Engine      string  `json:"engine"` // "single", "batched" or "vectorized"
 	Rounds      int     `json:"rounds"`
 	Steps       int64   `json:"steps"`
 	StepsPerSec float64 `json:"steps_per_second"`
 	TotalMS     float64 `json:"total_ms"`
 	SpeedupVs1  float64 `json:"speedup_vs_single,omitempty"`
+	// EnvsPerWorker is set on envs-ladder rows: the lockstep width of the
+	// vectorized rollout engine; SpeedupVsE1 is the row's throughput over
+	// the ladder's E=1 row.
+	EnvsPerWorker int     `json:"envs_per_worker,omitempty"`
+	SpeedupVsE1   float64 `json:"speedup_vs_e1,omitempty"`
 	// ScalingEfficiency is set on worker-scaling rows; see result.
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	// GoMaxProcs / Oversubscribed: see result.
+	GoMaxProcs     int  `json:"gomaxprocs"`
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 // evalResult is one (config, engine, workers) horizon-sweep measurement.
@@ -105,6 +129,9 @@ type evalResult struct {
 	SpeedupVs1 float64 `json:"speedup_vs_perwindow,omitempty"`
 	// ScalingEfficiency is set on worker-scaling rows; see result.
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	// GoMaxProcs / Oversubscribed: see result.
+	GoMaxProcs     int  `json:"gomaxprocs"`
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 }
 
 type report struct {
@@ -136,6 +163,7 @@ func main() {
 		trainSteps = flag.Int64("train-steps", 1024, "environment steps per training round")
 		workers    = flag.Int("workers", 1, "A3C workers in the training bench")
 		scaleFlag  = flag.String("scale-workers", "1,2,4,8", "comma-separated worker counts for the scaling rows; empty disables them")
+		envsFlag   = flag.String("envs", "1,4,16,64", "comma-separated envs-per-worker ladder for the training bench; empty disables it")
 		serveFiles = flag.String("serve-files", "100000,1000000", "comma-separated tracked-file populations for the serving bench")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this path")
@@ -145,6 +173,10 @@ func main() {
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+	envs, err := parseScale(*envsFlag)
+	if err != nil {
+		fatal(fmt.Errorf("-envs: %w", err))
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -165,7 +197,7 @@ func main() {
 		writeReport(outPath(*out, "inference", all), benchInference(*files, *days, *rounds, scale))
 	}
 	if runTraining {
-		writeReport(outPath(*out, "training", all), benchTraining(*trainSteps, *workers, *rounds, scale))
+		writeReport(outPath(*out, "training", all), benchTraining(*trainSteps, *workers, *rounds, scale, envs))
 	}
 	if runEvaluation {
 		writeReport(outPath(*out, "evaluation", all), benchEvaluation(*rounds, scale))
@@ -241,6 +273,13 @@ func efficiency(throughput, baseThroughput float64, workers, baseWorkers int) fl
 	return (throughput / baseThroughput) * float64(baseWorkers) / float64(workers)
 }
 
+// stampProcs returns the honesty pair for one row: the effective scheduler
+// width it ran under and whether that width oversubscribes the machine's
+// real cores (in which case the row measures goroutine multiplexing, not
+// parallel scaling — the single-core CI containers hit this on every ladder
+// row past w=1).
+func stampProcs(gmp int) (int, bool) { return gmp, gmp > runtime.NumCPU() }
+
 func benchInference(files, days, rounds int, scale []int) report {
 	rep := report{Benchmark: "inference", GoMaxProc: runtime.GOMAXPROCS(0)}
 	for _, cfg := range benchConfigs {
@@ -255,8 +294,8 @@ func benchInference(files, days, rounds int, scale []int) report {
 		}
 		m := costmodel.New(pricing.Azure())
 		decisions := float64(tr.NumFiles() * tr.Days)
-		mkResult := func(engine string, workers int, best time.Duration) result {
-			return result{
+		mkResult := func(engine string, workers, gmp int, best time.Duration) result {
+			res := result{
 				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
 				Hidden: cfg.net.Hidden, Files: tr.NumFiles(), Days: tr.Days,
 				Engine: engine, Workers: workers, Rounds: rounds,
@@ -264,6 +303,8 @@ func benchInference(files, days, rounds int, scale []int) report {
 				DecPerSec: decisions / best.Seconds(),
 				TotalMS:   float64(best.Microseconds()) / 1000,
 			}
+			res.GoMaxProcs, res.Oversubscribed = stampProcs(gmp)
+			return res
 		}
 
 		single := measure(policy.RL{Agent: agent, SingleSample: true, Workers: 1}, tr, m, rounds)
@@ -273,7 +314,7 @@ func benchInference(files, days, rounds int, scale []int) report {
 			engine string
 			best   time.Duration
 		}{{"single", single}, {"batched", batched}} {
-			res := mkResult(r.engine, 1, r.best)
+			res := mkResult(r.engine, 1, runtime.GOMAXPROCS(0), r.best)
 			if r.engine == "batched" {
 				res.SpeedupVs1 = single.Seconds() / r.best.Seconds()
 			}
@@ -292,7 +333,7 @@ func benchInference(files, days, rounds int, scale []int) report {
 			best := scaledRun(w, func() time.Duration {
 				return measure(policy.RL{Agent: agent, Workers: w}, tr, m, rounds)
 			})
-			res := mkResult("batched", w, best)
+			res := mkResult("batched", w, w, best)
 			if i == 0 {
 				baseThr = res.DecPerSec
 			}
@@ -305,7 +346,7 @@ func benchInference(files, days, rounds int, scale []int) report {
 	return rep
 }
 
-func benchTraining(steps int64, workers, rounds int, scale []int) report {
+func benchTraining(steps int64, workers, rounds int, scale, envs []int) report {
 	rep := report{Benchmark: "training", GoMaxProc: runtime.GOMAXPROCS(0)}
 	for _, cfg := range benchConfigs {
 		// The training workload mirrors the rl bench tests: a small polar
@@ -319,29 +360,31 @@ func benchTraining(steps int64, workers, rounds int, scale []int) report {
 			fatal(err)
 		}
 		m := costmodel.New(pricing.Azure())
-		mkResult := func(engine string, w int, best time.Duration) trainResult {
-			return trainResult{
+		mkResult := func(engine string, w, gmp int, n int64, best time.Duration) trainResult {
+			res := trainResult{
 				Config: cfg.name, HistLen: cfg.net.HistLen, Filters: cfg.net.Filters,
 				Hidden: cfg.net.Hidden, NSteps: rl.DefaultA3CConfig().NSteps,
-				Workers: w, Engine: engine, Rounds: rounds, Steps: steps,
-				StepsPerSec: float64(steps) / best.Seconds(),
+				Workers: w, Engine: engine, Rounds: rounds, Steps: n,
+				StepsPerSec: float64(n) / best.Seconds(),
 				TotalMS:     float64(best.Microseconds()) / 1000,
 			}
+			res.GoMaxProcs, res.Oversubscribed = stampProcs(gmp)
+			return res
 		}
 
-		single := measureTraining(cfg.net, tr, m, true, steps, workers, rounds)
-		batched := measureTraining(cfg.net, tr, m, false, steps, workers, rounds)
+		single := measureTraining(cfg.net, tr, m, true, steps, workers, 1, rounds)
+		batched := measureTraining(cfg.net, tr, m, false, steps, workers, 1, rounds)
 
 		for _, r := range []struct {
 			engine string
 			best   time.Duration
 		}{{"single", single}, {"batched", batched}} {
-			res := mkResult(r.engine, workers, r.best)
+			res := mkResult(r.engine, workers, runtime.GOMAXPROCS(0), steps, r.best)
 			if r.engine == "batched" {
 				res.SpeedupVs1 = single.Seconds() / r.best.Seconds()
 			}
 			rep.Training = append(rep.Training, res)
-			fmt.Printf("%-9s %-8s %12.0f steps/s", cfg.name, r.engine, res.StepsPerSec)
+			fmt.Printf("%-9s %-10s %12.0f steps/s", cfg.name, r.engine, res.StepsPerSec)
 			if res.SpeedupVs1 > 0 {
 				fmt.Printf("  %.2fx vs single", res.SpeedupVs1)
 			}
@@ -354,16 +397,49 @@ func benchTraining(steps int64, workers, rounds int, scale []int) report {
 		var baseThr float64
 		for i, w := range scale {
 			best := scaledRun(w, func() time.Duration {
-				return measureTraining(cfg.net, tr, m, false, steps, w, rounds)
+				return measureTraining(cfg.net, tr, m, false, steps, w, 1, rounds)
 			})
-			res := mkResult("batched", w, best)
+			res := mkResult("batched", w, w, steps, best)
 			if i == 0 {
 				baseThr = res.StepsPerSec
 			}
 			res.ScalingEfficiency = efficiency(res.StepsPerSec, baseThr, w, scale[0])
 			rep.Training = append(rep.Training, res)
-			fmt.Printf("%-9s %-8s %12.0f steps/s  workers=%d eff=%.2f\n",
+			fmt.Printf("%-9s %-10s %12.0f steps/s  workers=%d eff=%.2f\n",
 				cfg.name, "batched", res.StepsPerSec, w, res.ScalingEfficiency)
+		}
+
+		// Envs-per-worker ladder: the vectorized lockstep engine at one
+		// worker on the ambient scheduler width — vectorization batches
+		// network passes on a single core rather than fanning out
+		// goroutines, so these rows are meaningful even where the worker
+		// ladder is oversubscribed. Wide rows get their step budget raised
+		// so every row still runs a healthy number of updates.
+		var e1Thr float64
+		for i, e := range envs {
+			rollout := int64(e * rl.DefaultA3CConfig().NSteps)
+			envSteps := steps
+			if min := 16 * rollout; envSteps < min {
+				envSteps = min
+			}
+			engine := "batched" // E ≤ 1 dispatches to the classic loop
+			if e > 1 {
+				engine = "vectorized"
+			}
+			best := measureTraining(cfg.net, tr, m, false, envSteps, 1, e, rounds)
+			res := mkResult(engine, 1, runtime.GOMAXPROCS(0), envSteps, best)
+			res.EnvsPerWorker = e
+			if i == 0 {
+				e1Thr = res.StepsPerSec
+			} else {
+				res.SpeedupVsE1 = res.StepsPerSec / e1Thr
+			}
+			rep.Training = append(rep.Training, res)
+			fmt.Printf("%-9s %-10s %12.0f steps/s  envs=%d", cfg.name, engine, res.StepsPerSec, e)
+			if res.SpeedupVsE1 > 0 {
+				fmt.Printf("  %.2fx vs E=1", res.SpeedupVsE1)
+			}
+			fmt.Println()
 		}
 	}
 	return rep
@@ -428,6 +504,7 @@ func benchEvaluation(rounds int, scale []int) report {
 				Horizons: horizons, Engine: en.name, Workers: 1, Rounds: rounds,
 				TotalMS: float64(best.Microseconds()) / 1000,
 			}
+			res.GoMaxProcs, res.Oversubscribed = stampProcs(runtime.GOMAXPROCS(0))
 			if en.swept {
 				res.SpeedupVs1 = perWindowBest.Seconds() / best.Seconds()
 			} else {
@@ -462,6 +539,7 @@ func benchEvaluation(rounds int, scale []int) report {
 				Horizons: horizons, Engine: "swept", Workers: w, Rounds: rounds,
 				TotalMS: float64(best.Microseconds()) / 1000,
 			}
+			res.GoMaxProcs, res.Oversubscribed = stampProcs(w)
 			thr := 1 / best.Seconds()
 			if i == 0 {
 				baseThr = thr
@@ -498,11 +576,13 @@ func measure(p policy.RL, tr *trace.Trace, m *costmodel.Model, rounds int) time.
 // measureTraining times a fresh Train run of `steps` environment steps per
 // round (after a shorter warm-up run) and returns the best round. Each round
 // rebuilds the trainer so step counts, annealing and optimizer state are
-// identical across rounds and engines.
-func measureTraining(net rl.NetConfig, tr *trace.Trace, m *costmodel.Model, singleSample bool, steps int64, workers, rounds int) time.Duration {
+// identical across rounds and engines; envs > 1 selects the vectorized
+// lockstep engine.
+func measureTraining(net rl.NetConfig, tr *trace.Trace, m *costmodel.Model, singleSample bool, steps int64, workers, envs, rounds int) time.Duration {
 	cfg := rl.DefaultA3CConfig()
 	cfg.Net = net
 	cfg.Workers = workers
+	cfg.EnvsPerWorker = envs
 	cfg.Seed = 7
 	cfg.SingleSample = singleSample
 	run := func(n int64) time.Duration {
@@ -510,19 +590,19 @@ func measureTraining(net rl.NetConfig, tr *trace.Trace, m *costmodel.Model, sing
 		if err != nil {
 			fatal(err)
 		}
-		factory, err := rl.TraceFactory(m, tr, net.HistLen, mdp.DefaultReward(), pricing.Hot)
+		src, err := rl.NewTraceSource(m, tr, net.HistLen, mdp.DefaultReward(), pricing.Hot)
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		if _, err := a3c.Train(factory, n); err != nil {
+		if _, err := a3c.TrainFrom(src, n); err != nil {
 			fatal(err)
 		}
 		return time.Since(start)
 	}
 	warm := steps / 4
-	if warm < int64(cfg.NSteps) {
-		warm = int64(cfg.NSteps)
+	if floor := int64(cfg.NSteps * max(envs, 1)); warm < floor {
+		warm = floor // at least one full lockstep rollout
 	}
 	run(warm)
 	best := time.Duration(0)

@@ -106,13 +106,13 @@ func (ll *learnLab) trainUntil(trainCfg rl.A3CConfig) (steps []int64, rates []fl
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	factory, err := rl.TraceFactory(ll.model, ll.tr, trainCfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	src, err := rl.NewTraceSource(ll.model, ll.tr, trainCfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	converged = ll.cfg.MaxSteps
 	for target := ll.cfg.ChunkSteps; target <= ll.cfg.MaxSteps; target += ll.cfg.ChunkSteps {
-		if _, err := a3c.Train(factory, target); err != nil {
+		if _, err := a3c.TrainFrom(src, target); err != nil {
 			return nil, nil, 0, err
 		}
 		r, err := ll.rate(a3c.Snapshot())

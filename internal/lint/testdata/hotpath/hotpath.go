@@ -43,6 +43,38 @@ func hotClean(dst, src []float64) float64 {
 	return sum
 }
 
+// bank mirrors the struct-of-arrays env-bank shape the vectorized rollout
+// engine steps (mdp.EnvBank): flat result arrays written by index.
+type bank struct {
+	rewards []float64
+	done    []bool
+}
+
+// hotBankClean pins the idioms the lockstep kernels rely on staying legal:
+// indexed writes into struct-of-arrays fields, a struct (not map/slice)
+// composite literal, method values on concrete types, and a cold panic guard
+// built with string concatenation.
+//
+//minicost:hotpath
+func hotBankClean(b *bank, rewards []float64, msg string) bank {
+	if len(rewards) != len(b.rewards) {
+		panic("hotpathtest: bank width mismatch: " + msg)
+	}
+	for i, v := range rewards {
+		b.rewards[i] = v
+		b.done[i] = v == 0
+	}
+	return bank{rewards: b.rewards, done: b.done}
+}
+
+// hotBankGrow seeds the violation the struct-of-arrays layout makes
+// tempting: appending into a result array instead of writing by index.
+//
+//minicost:hotpath
+func hotBankGrow(b *bank, v float64) {
+	b.rewards = append(b.rewards, v) // want "append may grow and allocate in hot-path function hotBankGrow"
+}
+
 // cold repeats every violation without the annotation: the analyzer must
 // stay silent on unannotated functions.
 func cold(xs []float64, n int) float64 {

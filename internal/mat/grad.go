@@ -195,6 +195,77 @@ func mulKOuterBlock(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// MulPackAccTo accumulates dst += a·X from a packed right operand:
+// dst[m][j] += Σ_k a[m][k]·X[k][j], with X pre-packed by PackTransposeTo
+// (pb.Cols = X's columns, pb.K = X's rows = the shared dimension). It is the
+// large-batch weight-gradient kernel: with a = dYᵀ and X the retained input
+// batch, dst is dW and the shared dimension is the batch row index, so every
+// gradient element accumulates its per-sample terms in ascending row order
+// seeded from its current value — the per-sample reference order — while the
+// inner kernel runs one destination column per SIMD lane exactly like the
+// packed forward GEMM. Versus the unpacked tiled product this converts the
+// k-loads of one destination tile from full-width row strides into
+// contiguous packed segments, and it replaces the batch-matrix transpose a
+// caller would otherwise materialize with a cache-friendly pack of the same
+// traffic. workers bounds the parallel fan-out over destination rows.
+func MulPackAccTo(dst, a *Matrix, pb *PackedTransB, workers int) {
+	if a.Cols != pb.K {
+		panic(fmt.Sprintf("mat: MulPackAcc shape mismatch %dx%d · packed %dx%d", a.Rows, a.Cols, pb.K, pb.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != pb.Cols {
+		panic(fmt.Sprintf("mat: MulPackAcc dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, pb.Cols))
+	}
+	if workers == 1 || a.Rows*a.Cols*pb.Cols < gemmParallelFlops {
+		mulPackAccBlock(dst, a, pb, 0, a.Rows)
+		return
+	}
+	w := resolveWorkers(workers)
+	par.ForBatched(a.Rows, parPanel(a.Rows, w, gemmMinPanel), w, func(lo, hi int) {
+		mulPackAccBlock(dst, a, pb, lo, hi)
+	})
+}
+
+// mulPackAccBlock accumulates into dst rows [lo, hi) from the packed
+// operand. Column tiles are the outer loop with the shared dimension
+// blocked inside them (packKBlock, as in mulPackBlock) so the revisited
+// segment stays cache-hot; dotPack16 accumulates into the live destination
+// slice, so no seeding pass is needed — the existing values are the seed.
+// The ragged last tile uses per-lane scalar dots, each still k-sequential
+// from the element's current value.
+//
+//minicost:hotpath
+func mulPackAccBlock(dst, a *Matrix, pb *PackedTransB, lo, hi int) {
+	n, k := pb.Cols, pb.K
+	full := n / packLanes * packLanes
+	for j := 0; j < full; j += packLanes {
+		tile := pb.Data[j*k : (j+packLanes)*k]
+		for k0 := 0; k0 < k; k0 += packKBlock {
+			k1 := k0 + packKBlock
+			if k1 > k {
+				k1 = k
+			}
+			seg := tile[k0*packLanes : k1*packLanes]
+			for r := lo; r < hi; r++ {
+				dotPack16(a.Data[r*k+k0:r*k+k1], seg, dst.Data[r*n+j:r*n+j+packLanes])
+			}
+		}
+	}
+	if full < n {
+		seg := pb.Data[full*k:]
+		for r := lo; r < hi; r++ {
+			arow := a.Data[r*k : (r+1)*k]
+			drow := dst.Data[r*n : (r+1)*n]
+			for lane := 0; full+lane < n; lane++ {
+				s := drow[full+lane]
+				for i, v := range arow {
+					s += v * seg[i*packLanes+lane]
+				}
+				drow[full+lane] = s
+			}
+		}
+	}
+}
+
 // mulTransBAccBlock fills output rows [lo, hi) like mulTransBBlock, except
 // each accumulator is seeded from dst instead of a bias vector. Four
 // independent output columns run together to hide FP-add latency; every

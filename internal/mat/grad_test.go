@@ -214,3 +214,84 @@ func TestPackTransposeGEMM(t *testing.T) {
 		}
 	}
 }
+
+// TestMulPackAccBitwise pins the packed weight-gradient kernel to the
+// per-element reference: dst[m][j] += Σ_k a[m][k]·X[k][j] with each
+// element's k-chain ascending from the element's pre-seeded value, bitwise
+// equal to both the scalar reference and the unpacked MulTransAAccTo route
+// (the kernel it replaces on large batches).
+func TestMulPackAccBitwise(t *testing.T) {
+	r := rng.New(21)
+	for _, sh := range []struct{ m, k, n int }{{1, 1, 1}, {5, 7, 33}, {128, 448, 40}, {17, 16, 16}, {3, 28, 100}} {
+		a := randMat(r, sh.m, sh.k)   // dYᵀ: dst rows × shared
+		x := randMat(r, sh.k, sh.n)   // input batch: shared × dst cols
+		dst := randMat(r, sh.m, sh.n) // pre-seeded accumulator
+		want := dst.Clone()
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				s := want.At(i, j)
+				for k := 0; k < sh.k; k++ {
+					s += a.At(i, k) * x.At(k, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		other := dst.Clone()
+		MulPackAccTo(dst, a, PackTransposeTo(nil, x), 1)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%d · %dx%d: elem %d = %v, want %v (not bitwise equal)",
+					sh.m, sh.k, sh.k, sh.n, i, dst.Data[i], want.Data[i])
+			}
+		}
+		MulTransAAccTo(other, TransposeTo(nil, a), x, 1)
+		for i := range want.Data {
+			if other.Data[i] != dst.Data[i] {
+				t.Fatalf("%dx%d · %dx%d: packed route elem %d diverges from MulTransAAccTo", sh.m, sh.k, sh.k, sh.n, i)
+			}
+		}
+	}
+}
+
+// TestMulPackAccParallelIdentical pins worker-count independence: the
+// parallel fan-out splits destination rows, which are independent, so any
+// worker count must produce bitwise-identical output.
+func TestMulPackAccParallelIdentical(t *testing.T) {
+	r := rng.New(22)
+	a := randMat(r, 64, 448)
+	x := randMat(r, 448, 300)
+	px := PackTransposeTo(nil, x)
+	ref := randMat(r, 64, 300)
+	seed := ref.Clone()
+	MulPackAccTo(ref, a, px, 1)
+	for _, w := range []int{2, 4, 8} {
+		dst := seed.Clone()
+		MulPackAccTo(dst, a, px, w)
+		for i := range ref.Data {
+			if dst.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: elem %d diverges from serial", w, i)
+			}
+		}
+	}
+}
+
+func TestMulPackAccShapePanics(t *testing.T) {
+	a := New(4, 8)
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"shared mismatch", func() { MulPackAccTo(New(4, 5), a, PackTransposeTo(nil, New(9, 5)), 1) }},
+		{"dst rows", func() { MulPackAccTo(New(3, 5), a, PackTransposeTo(nil, New(8, 5)), 1) }},
+		{"dst cols", func() { MulPackAccTo(New(4, 6), a, PackTransposeTo(nil, New(8, 5)), 1) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}

@@ -52,6 +52,20 @@ func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
 // Row returns a view (not a copy) of row r.
 func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 
+// SliceRows points view at rows [lo, hi) of m, sharing m's backing array —
+// the vectorized rollout engine uses it to run a batched pass over one
+// lockstep block of a larger feature arena without copying rows out. view
+// must be a caller-owned scratch matrix; its previous contents are dropped.
+// The view's capacity is clipped to the window, so kernels cannot write past
+// hi even through append-style reslicing.
+func (m *Matrix) SliceRows(view *Matrix, lo, hi int) {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("mat: SliceRows [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	view.Rows, view.Cols = hi-lo, m.Cols
+	view.Data = m.Data[lo*m.Cols : hi*m.Cols : hi*m.Cols]
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	out := New(m.Rows, m.Cols)

@@ -293,3 +293,51 @@ func BenchmarkCholesky64(b *testing.B) {
 		}
 	}
 }
+
+// TestSliceRowsSharesStorage pins the view contract: a row window aliases
+// the parent's backing array (writes through the view land in the parent),
+// its capacity is clipped at the window end, and re-pointing an existing
+// view allocates nothing.
+func TestSliceRowsSharesStorage(t *testing.T) {
+	r := rng.New(3)
+	m := randomMatrix(r, 6, 4)
+	var view Matrix
+	m.SliceRows(&view, 2, 5)
+	if view.Rows != 3 || view.Cols != 4 {
+		t.Fatalf("view shape %dx%d, want 3x4", view.Rows, view.Cols)
+	}
+	for i := 0; i < view.Rows; i++ {
+		for j := 0; j < view.Cols; j++ {
+			if view.At(i, j) != m.At(i+2, j) {
+				t.Fatalf("view(%d,%d) = %v, want %v", i, j, view.At(i, j), m.At(i+2, j))
+			}
+		}
+	}
+	view.Set(0, 0, 42)
+	if m.At(2, 0) != 42 {
+		t.Fatal("write through the view did not reach the parent")
+	}
+	if cap(view.Data) != len(view.Data) {
+		t.Fatalf("view capacity %d not clipped to window length %d", cap(view.Data), len(view.Data))
+	}
+	allocs := testing.AllocsPerRun(10, func() { m.SliceRows(&view, 0, 3) })
+	if allocs != 0 {
+		t.Fatalf("SliceRows allocates %.0f/op, want 0", allocs)
+	}
+}
+
+// TestSliceRowsOutOfRangePanics covers the window validation.
+func TestSliceRowsOutOfRangePanics(t *testing.T) {
+	m := New(4, 2)
+	var view Matrix
+	for _, w := range [][2]int{{-1, 2}, {3, 2}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SliceRows(%d,%d) did not panic", w[0], w[1])
+				}
+			}()
+			m.SliceRows(&view, w[0], w[1])
+		}()
+	}
+}

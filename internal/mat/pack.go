@@ -165,30 +165,47 @@ func MulPackTransBBiasTo(dst, a *Matrix, pb *PackedTransB, bias []float64, worke
 	return dst
 }
 
+// packKBlock is the shared-dimension block length of the packed kernels:
+// 192 k-steps of one 16-lane tile are 24 KiB, so the segment a row batch
+// revisits stays L1-resident instead of re-streaming the whole 16·K tile
+// from L2 once per row. Blocks run in ascending k order with the running
+// sums parked in the destination row between blocks, which leaves every
+// element's accumulation sequence — and therefore the bitwise contract —
+// unchanged: a paused-and-resumed chain performs the identical adds.
+const packKBlock = 192
+
 // mulPackBlock fills output rows [lo, hi) from the packed operand. The
-// column tile is the outer loop so one packed tile (16·K floats) stays
-// cache-resident while the A rows stream past it — row-outer order would
-// re-stream the whole packed operand from memory once per row. Full tiles
-// accumulate directly in the destination row (seeded with the bias); the
-// ragged last tile uses per-lane scalar dots written straight into dst (a
-// scratch array would escape through the asm call and break the
-// allocation-free steady state). Every element stays k-sequential.
+// column tile is the outer loop and the shared dimension is blocked inside
+// it (see packKBlock) so the segment the A rows revisit stays cache-hot;
+// the first block seeds each destination slice with the bias (or zero) and
+// later blocks accumulate on top. The ragged last tile uses per-lane scalar
+// dots written straight into dst (a scratch array would escape through the
+// asm call and break the allocation-free steady state). Every element stays
+// k-sequential.
 func mulPackBlock(dst, a *Matrix, pb *PackedTransB, bias []float64, lo, hi int) {
 	n, k := pb.Cols, pb.K
 	full := n / packLanes * packLanes
 	for j := 0; j < full; j += packLanes {
-		seg := pb.Data[j*k : (j+packLanes)*k]
-		for r := lo; r < hi; r++ {
-			arow := a.Data[r*k : (r+1)*k]
-			acc := dst.Data[r*n+j : r*n+j+packLanes]
-			if bias != nil {
-				copy(acc, bias[j:j+packLanes])
-			} else {
-				for i := range acc {
-					acc[i] = 0
-				}
+		tile := pb.Data[j*k : (j+packLanes)*k]
+		for k0 := 0; k0 < k; k0 += packKBlock {
+			k1 := k0 + packKBlock
+			if k1 > k {
+				k1 = k
 			}
-			dotPack16(arow, seg, acc)
+			seg := tile[k0*packLanes : k1*packLanes]
+			for r := lo; r < hi; r++ {
+				acc := dst.Data[r*n+j : r*n+j+packLanes]
+				if k0 == 0 {
+					if bias != nil {
+						copy(acc, bias[j:j+packLanes])
+					} else {
+						for i := range acc {
+							acc[i] = 0
+						}
+					}
+				}
+				dotPack16(a.Data[r*k+k0:r*k+k1], seg, acc)
+			}
 		}
 	}
 	if full < n {

@@ -17,8 +17,9 @@ import (
 // every parameter-gradient element receives its per-row terms in ascending
 // row order, each added to the element's running value one at a time. The
 // batched kernels keep exactly that order — Dense's weight gradient runs
-// dW += dYᵀ·X through mat.MulTransBAccTo (row-sequential, seeded from the
-// existing gradient), Conv1D replays the im2col windows with the reference's
+// dW += dYᵀ·X through mat.MulTransAAccTo or mat.MulPackAccTo (both
+// row-sequential, seeded from the existing gradient), Conv1D replays the
+// im2col windows with the reference's
 // zero-gradient skip, and the input-gradient products seed at zero and walk
 // the output dimension in index order, matching the per-sample loops term
 // for term. Batched training is therefore bitwise identical to the
@@ -40,11 +41,14 @@ import (
 // Short batches (under packMinRows — training rollouts) run transpose- and
 // pack-free: dW goes through mat.MulTransAAccTo directly on the row-major
 // batches and dx through mat.MulKOuterTo, each streaming the full-size
-// operand exactly once. Larger batches amortize tiling instead: dW is a
-// GEMM over the transposed gradient and input batches, and dx runs on the
-// packed SIMD kernel against a transposed-weight pack (PackTransposeTo),
-// mirroring ForwardBatch's packed GEMM. All kernels share the accumulation-
-// order contract, so both paths are bitwise identical to the reference.
+// operand exactly once. Larger batches (vectorized rollouts' E·NSteps
+// arenas) amortize packing instead: both dW and dx run on the packed SIMD
+// kernel — dx against a transposed-weight pack (PackTransposeTo), dW
+// against a pack of the retained input batch with the transposed gradient
+// as the streaming operand (mat.MulPackAccTo), which keeps the per-k tile
+// loads contiguous and drops the full-width input-batch transpose. All
+// kernels share the accumulation-order contract, so both paths are bitwise
+// identical to the reference.
 func (d *Dense) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 	if d.bx == nil {
 		panic("nn: Dense BackwardBatch before ForwardBatch")
@@ -73,13 +77,13 @@ func (d *Dense) BackwardBatch(dy *mat.Matrix, workers int) *mat.Matrix {
 		return d.bdx
 	}
 	d.dyT = mat.TransposeParTo(d.dyT, dy, workers)
-	d.bxT = mat.TransposeParTo(d.bxT, d.bx, workers)
 	if parRows(d.Out, dy.Rows, workers) {
 		par.ForChunked(d.Out, workers, d.biasGradRows)
 	} else {
 		d.biasGradRows(0, d.Out)
 	}
-	mat.MulTransBAccTo(d.gView, d.dyT, d.bxT, workers)
+	d.xpack = mat.PackTransposeParTo(d.xpack, d.bx, workers)
+	mat.MulPackAccTo(d.gView, d.dyT, d.xpack, workers)
 	d.wtpack = mat.PackTransposeParTo(d.wtpack, d.wView, workers)
 	d.bdx = mat.MulPackTransBBiasTo(d.bdx, dy, d.wtpack, nil, workers)
 	return d.bdx

@@ -62,10 +62,11 @@ type Dense struct {
 	wView *mat.Matrix       // lazily built view of w.Value as an Out×In matrix
 	wpack *mat.PackedTransB // reused kernel-layout copy of the weights
 
-	bx            *mat.Matrix       // input batch retained by ForwardBatch for BackwardBatch
-	bxT, dyT, bdx *mat.Matrix       // reused gradient-pass scratch/output buffers
-	gView         *mat.Matrix       // lazily built view of w.Grad as an Out×In matrix
-	wtpack        *mat.PackedTransB // reused transposed-weight pack for the dX GEMM
+	bx       *mat.Matrix       // input batch retained by ForwardBatch for BackwardBatch
+	dyT, bdx *mat.Matrix       // reused gradient-pass scratch/output buffers
+	gView    *mat.Matrix       // lazily built view of w.Grad as an Out×In matrix
+	wtpack   *mat.PackedTransB // reused transposed-weight pack for the dX GEMM
+	xpack    *mat.PackedTransB // reused input-batch pack for the dW GEMM
 }
 
 // NewDense constructs a Dense layer with Xavier/Glorot uniform init.

@@ -46,6 +46,19 @@ type A3CConfig struct {
 	NSteps int
 	// Workers is the number of asynchronous actor-learners.
 	Workers int
+	// EnvsPerWorker is the number of environments each worker drives in
+	// lockstep. 0 or 1 selects the classic per-env collection loop, whose
+	// results are pinned bitwise against the single-sample reference; E ≥ 2
+	// switches the worker to the vectorized rollout engine (vectrain.go):
+	// one E-row ForwardBatch selects actions for every environment at once,
+	// one batched pass bootstraps all critic values, and the n-step update
+	// accumulates over E×NSteps transitions in a single BackwardBatch pair.
+	// Episodes that end mid-rollout are reset in place and the return
+	// recursion restarts at the boundary, so rollouts always carry the full
+	// E×NSteps transitions. Each environment samples episodes and actions
+	// from its own RNG substream split from the worker seed, so E > 1 runs
+	// remain seed-deterministic at Workers=1.
+	EnvsPerWorker int
 	// Parallelism bounds the intra-update GEMM fan-out on the batched path:
 	// it is the workers argument handed to every ForwardBatch/BackwardBatch
 	// inside one update. The default 0 (like 1) runs updates serially —
@@ -126,6 +139,12 @@ func (c A3CConfig) Validate() error {
 		return fmt.Errorf("rl: NSteps %d", c.NSteps)
 	case c.Workers <= 0:
 		return fmt.Errorf("rl: Workers %d", c.Workers)
+	case c.EnvsPerWorker < 0:
+		return fmt.Errorf("rl: EnvsPerWorker %d", c.EnvsPerWorker)
+	case c.SingleSample && c.EnvsPerWorker > 1:
+		// The vectorized engine is built on the batched kernels; there is no
+		// single-sample variant of a lockstep rollout.
+		return fmt.Errorf("rl: SingleSample is incompatible with EnvsPerWorker %d", c.EnvsPerWorker)
 	case c.Parallelism < 0:
 		return fmt.Errorf("rl: Parallelism %d", c.Parallelism)
 	case c.EntropyBeta < 0:
@@ -147,6 +166,14 @@ func (c A3CConfig) Validate() error {
 		return fmt.Errorf("rl: unknown optimizer %q", c.Optimizer)
 	}
 	return nil
+}
+
+// envsPerWorker resolves the lockstep width (0 means the classic 1).
+func (c A3CConfig) envsPerWorker() int {
+	if c.EnvsPerWorker <= 0 {
+		return 1
+	}
+	return c.EnvsPerWorker
 }
 
 // parallelism resolves the intra-update fan-out (0 means serial).
@@ -250,11 +277,47 @@ func (a *A3C) CriticSnapshot() *nn.Network {
 // called concurrently and must be safe for that.
 type EnvFactory func(r *rng.RNG) *mdp.Env
 
+// EnvSource supplies training episodes to workers. NewEnv returns a fresh
+// environment owned exclusively by the caller; ReinitEnv re-targets an
+// environment the caller already owns onto a new episode in place, which
+// lets sources that support mdp.Env.Reinit (TraceSource) keep episode
+// turnover allocation-free. Both methods are called concurrently from every
+// worker and must be safe for that; both draw all randomness from r so the
+// episode sequence is a pure function of the worker's RNG stream.
+type EnvSource interface {
+	NewEnv(r *rng.RNG) *mdp.Env
+	ReinitEnv(r *rng.RNG, env *mdp.Env)
+}
+
+// factorySource adapts an EnvFactory to EnvSource; ReinitEnv falls back to
+// building a fresh environment and copying it over the old one.
+type factorySource struct{ f EnvFactory }
+
+func (s factorySource) NewEnv(r *rng.RNG) *mdp.Env { return s.f(r) }
+
+func (s factorySource) ReinitEnv(r *rng.RNG, env *mdp.Env) {
+	fresh := s.f(r)
+	// The old env may be running on recycled observation buffers; the copy
+	// must carry that mode (and fresh buffers) over, not silently drop it.
+	fresh.EnableStateReuse()
+	*env = *fresh
+}
+
 // Train runs the asynchronous workers until the global step counter reaches
 // totalSteps (Algorithm 1's outer loop). It returns aggregate statistics.
 func (a *A3C) Train(factory EnvFactory, totalSteps int64) (TrainStats, error) {
 	if factory == nil {
 		return TrainStats{}, errors.New("rl: nil env factory")
+	}
+	return a.TrainFrom(factorySource{f: factory}, totalSteps)
+}
+
+// TrainFrom is Train generalized over an EnvSource; sources that implement
+// in-place episode re-targeting (TraceSource) keep worker episode turnover
+// allocation-free, which the vectorized engine's alloc gates require.
+func (a *A3C) TrainFrom(src EnvSource, totalSteps int64) (TrainStats, error) {
+	if src == nil {
+		return TrainStats{}, errors.New("rl: nil env source")
 	}
 	if totalSteps <= 0 {
 		return TrainStats{}, fmt.Errorf("rl: totalSteps %d", totalSteps)
@@ -267,7 +330,11 @@ func (a *A3C) Train(factory EnvFactory, totalSteps int64) (TrainStats, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			stats[w] = a.worker(w, factory, totalSteps)
+			if a.cfg.envsPerWorker() > 1 {
+				stats[w] = a.vecWorker(w, src, totalSteps)
+			} else {
+				stats[w] = a.worker(w, src, totalSteps)
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -359,14 +426,14 @@ func (n *rewardNorm) normalize(r float64) float64 {
 }
 
 // worker is one asynchronous actor-learner (Fig. 6's per-thread loop).
-func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
+func (a *A3C) worker(id int, src EnvSource, totalSteps int64) TrainStats {
 	r := rng.New(a.cfg.Seed).Split(uint64(id) + 0xAC7)
 	actor := a.protoActor.Clone()
 	critic := a.protoCritic.Clone()
 	agent := NewAgent(a.cfg.Net, actor)
 
 	featDim := a.cfg.Net.featureDim()
-	env := factory(r)
+	env := src.NewEnv(r)
 	env.EnableStateReuse()
 	state := env.Reset()
 	var st TrainStats
@@ -425,8 +492,7 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 			next, reward, cost, fin, err := env.Step(action)
 			if err != nil {
 				// A finished env slipped through; start a fresh episode.
-				env = factory(r)
-				env.EnableStateReuse()
+				src.ReinitEnv(r, env)
 				state = env.Reset()
 				stickyLeft = 0
 				break
@@ -446,8 +512,7 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 			if fin {
 				done = true
 				st.Episodes++
-				env = factory(r)
-				env.EnableStateReuse()
+				src.ReinitEnv(r, env)
 				state = env.Reset()
 				stickyLeft = 0
 				break
@@ -477,41 +542,49 @@ func (a *A3C) worker(id int, factory EnvFactory, totalSteps int64) TrainStats {
 
 		// Push accumulated gradients to the global parameters (Eq. 12); the
 		// flat-backed accumulators are the gradient vectors.
-		nn.ClipGrads(aGrad, a.cfg.GradClip)
-		nn.ClipGrads(cGrad, a.cfg.GradClip)
-		if obs.Default().Enabled() {
-			// The O(params) norm is only worth computing when someone is
-			// watching; Set self-gates but would not skip the sqrt-sum.
-			trainMet.gradNorm.Set(math.Sqrt(mat.SumSquares(aGrad)))
-		}
-		sw := trainMet.updateLat.Start()
-		a.mu.Lock()
-		if f := a.cfg.FinalLRFraction; f > 0 && f < 1 {
-			// Linear LR annealing over this Train call's step budget.
-			progress := float64(a.steps.Load()) / float64(totalSteps)
-			if progress > 1 {
-				progress = 1
-			}
-			scale := 1 - (1-f)*progress
-			a.actorOpt.SetLearningRate(a.cfg.LearningRate * scale)
-			a.criticOpt.SetLearningRate(a.cfg.LearningRate * a.cfg.CriticLRMult * scale)
-		}
-		if a.cfg.SingleSample {
-			// Reference path: apply in place on the current buffer. No
-			// lock-free readers exist in this mode (pulls hold a.mu), so
-			// mutating the published buffer is safe.
-			cur := a.snap.Load()
-			a.actorOpt.Step(cur.actor, aGrad)
-			a.criticOpt.Step(cur.critic, cGrad)
-		} else {
-			a.applyLocked(aGrad, cGrad)
-		}
-		a.mu.Unlock()
-		sw.Stop()
-		trainMet.updates.Inc()
+		a.pushUpdate(aGrad, cGrad, totalSteps)
 		st.Updates++
 	}
 	return st
+}
+
+// pushUpdate clips the worker's accumulated flat gradients and applies them
+// to the global parameters (Eq. 12) under the apply lock, annealing the
+// learning rate by global progress first. Both the scalar and the vectorized
+// workers end every update here.
+func (a *A3C) pushUpdate(aGrad, cGrad []float64, totalSteps int64) {
+	nn.ClipGrads(aGrad, a.cfg.GradClip)
+	nn.ClipGrads(cGrad, a.cfg.GradClip)
+	if obs.Default().Enabled() {
+		// The O(params) norm is only worth computing when someone is
+		// watching; Set self-gates but would not skip the sqrt-sum.
+		trainMet.gradNorm.Set(math.Sqrt(mat.SumSquares(aGrad)))
+	}
+	sw := trainMet.updateLat.Start()
+	a.mu.Lock()
+	if f := a.cfg.FinalLRFraction; f > 0 && f < 1 {
+		// Linear LR annealing over this Train call's step budget.
+		progress := float64(a.steps.Load()) / float64(totalSteps)
+		if progress > 1 {
+			progress = 1
+		}
+		scale := 1 - (1-f)*progress
+		a.actorOpt.SetLearningRate(a.cfg.LearningRate * scale)
+		a.criticOpt.SetLearningRate(a.cfg.LearningRate * a.cfg.CriticLRMult * scale)
+	}
+	if a.cfg.SingleSample {
+		// Reference path: apply in place on the current buffer. No
+		// lock-free readers exist in this mode (pulls hold a.mu), so
+		// mutating the published buffer is safe.
+		cur := a.snap.Load()
+		a.actorOpt.Step(cur.actor, aGrad)
+		a.criticOpt.Step(cur.critic, cGrad)
+	} else {
+		a.applyLocked(aGrad, cGrad)
+	}
+	a.mu.Unlock()
+	sw.Stop()
+	trainMet.updates.Inc()
 }
 
 // accumulateSingle replays the rollout through the per-sample reference

@@ -20,6 +20,12 @@ type trainMetrics struct {
 	updateLat *obs.Timer
 	batchFill *obs.Histogram
 	gradNorm  *obs.Gauge
+	// Vectorized-engine instruments (DESIGN.md §16): envs counts the
+	// environments currently driven in lockstep across all workers;
+	// vecForward times the batched action-selection forward (one E-row
+	// GEMM per lockstep step).
+	envs       *obs.Gauge
+	vecForward *obs.Timer
 }
 
 var trainMet = func() trainMetrics {
@@ -40,6 +46,10 @@ var trainMet = func() trainMetrics {
 			obs.LinearBuckets(0.1, 0.1, 10)),
 		gradNorm: reg.Gauge("minicost_train_grad_norm",
 			"Post-clip L2 norm of the actor gradient, most recent update."),
+		envs: reg.Gauge("minicost_train_envs",
+			"Environments currently driven in lockstep by the vectorized workers."),
+		vecForward: reg.Timer("minicost_train_vec_forward_seconds",
+			"Batched action-selection forward latency on the vectorized rollout path."),
 	}
 	reg.GaugeFunc("minicost_train_steps_per_second",
 		"Throughput of the current (or last finished) Train call; NaN before the first.",

@@ -66,3 +66,43 @@ func TestTrainingMetricsAdvance(t *testing.T) {
 		t.Errorf("grad norm gauge = %v", norm)
 	}
 }
+
+// TestVecTrainingMetricsAdvance is the vectorized-engine counterpart: the
+// lockstep envs gauge returns to its pre-run level once all workers exit
+// (Add/defer-Add pairing), and the batched-forward timer advanced.
+func TestVecTrainingMetricsAdvance(t *testing.T) {
+	reg := obs.Default()
+	was := reg.Enabled()
+	reg.SetEnabled(true)
+	t.Cleanup(func() { reg.SetEnabled(was) })
+
+	before := reg.Snapshot()
+	cfg := smallA3CConfig()
+	cfg.Workers = 1
+	cfg.EnvsPerWorker = 4
+	a3c, err := NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(r *rng.RNG) *mdp.Env {
+		e, _ := mdp.NewEnv(costmodel.New(pricing.Azure()), 0.1,
+			[]float64{1, 2, 3, 4, 5, 6, 7, 8}, make([]float64, 8), pricing.Hot, 7, mdp.DefaultReward())
+		return e
+	}
+	const steps = 112 // 4 full 4×7 rollouts
+	if _, err := a3c.Train(factory, steps); err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot()
+
+	if got := after.Counter("minicost_train_steps_total") - before.Counter("minicost_train_steps_total"); got < steps {
+		t.Errorf("steps delta = %v, want ≥ %d", got, steps)
+	}
+	if got, want := after.Gauge("minicost_train_envs"), before.Gauge("minicost_train_envs"); got != want {
+		t.Errorf("envs gauge = %v after the run, want back at %v", got, want)
+	}
+	fwd := after.Histogram("minicost_train_vec_forward_seconds")
+	if fwd.Count <= before.Histogram("minicost_train_vec_forward_seconds").Count {
+		t.Error("vectorized forward timer did not advance")
+	}
+}

@@ -103,6 +103,8 @@ func TestA3CConfigValidate(t *testing.T) {
 		mut(func(c *A3CConfig) { c.Epsilon = -0.1 }),
 		mut(func(c *A3CConfig) { c.NSteps = 0 }),
 		mut(func(c *A3CConfig) { c.Workers = 0 }),
+		mut(func(c *A3CConfig) { c.EnvsPerWorker = -1 }),
+		mut(func(c *A3CConfig) { c.SingleSample = true; c.EnvsPerWorker = 4 }),
 		mut(func(c *A3CConfig) { c.EntropyBeta = -1 }),
 		mut(func(c *A3CConfig) { c.ExploreHold = -1 }),
 		mut(func(c *A3CConfig) { c.GradClip = -1 }),

@@ -34,7 +34,7 @@ func TrainWithSelection(a *A3C, model *costmodel.Model, tr *trace.Trace, reward 
 	if totalSteps < int64(chunks) {
 		return nil, TrainStats{}, fmt.Errorf("rl: totalSteps %d below chunk count %d", totalSteps, chunks)
 	}
-	factory, err := TraceFactory(model, tr, a.cfg.Net.HistLen, reward, initial)
+	src, err := NewTraceSource(model, tr, a.cfg.Net.HistLen, reward, initial)
 	if err != nil {
 		return nil, TrainStats{}, err
 	}
@@ -61,7 +61,7 @@ func TrainWithSelection(a *A3C, model *costmodel.Model, tr *trace.Trace, reward 
 		if target <= a.Steps() {
 			continue
 		}
-		stats, err := a.Train(factory, target)
+		stats, err := a.TrainFrom(src, target)
 		if err != nil {
 			return nil, TrainStats{}, err
 		}

@@ -11,28 +11,63 @@ import (
 	"minicost/internal/trace"
 )
 
-// TraceFactory returns an EnvFactory that samples per-file episodes from a
-// trace: each episode picks a uniformly random file and steps through its
-// whole daily series under the given cost model and reward (the paper's
-// training regime: "the agent takes the real-time data or historical data
-// as input", per-file decisions).
-func TraceFactory(model *costmodel.Model, tr *trace.Trace, histLen int, reward mdp.RewardConfig, initial pricing.Tier) (EnvFactory, error) {
+// TraceSource samples per-file episodes from a trace: each episode picks a
+// uniformly random file and steps through its whole daily series under the
+// given cost model and reward (the paper's training regime: "the agent takes
+// the real-time data or historical data as input", per-file decisions). It
+// implements EnvSource with an allocation-free ReinitEnv (mdp.Env.Reinit
+// re-targets the worker's environment in place), which is what keeps episode
+// turnover off the vectorized engine's hot path.
+type TraceSource struct {
+	model   *costmodel.Model
+	tr      *trace.Trace
+	histLen int
+	reward  mdp.RewardConfig
+	initial pricing.Tier
+}
+
+// NewTraceSource validates the inputs and builds a TraceSource.
+func NewTraceSource(model *costmodel.Model, tr *trace.Trace, histLen int, reward mdp.RewardConfig, initial pricing.Tier) (*TraceSource, error) {
 	if tr.NumFiles() == 0 {
 		return nil, fmt.Errorf("rl: empty trace")
 	}
 	if histLen <= 0 {
 		return nil, fmt.Errorf("rl: histLen %d", histLen)
 	}
-	return func(r *rng.RNG) *mdp.Env {
-		i := r.Intn(tr.NumFiles())
-		env, err := mdp.NewEnv(model, tr.Files[i].SizeGB, tr.Reads[i], tr.Writes[i], initial, histLen, reward)
-		if err != nil {
-			// Generate/Validate guarantee per-file series are well formed;
-			// reaching here means the trace was corrupted after validation.
-			panic(fmt.Sprintf("rl: trace env: %v", err))
-		}
-		return env
-	}, nil
+	return &TraceSource{model: model, tr: tr, histLen: histLen, reward: reward, initial: initial}, nil
+}
+
+// NewEnv draws a random file and returns a fresh environment over it.
+func (s *TraceSource) NewEnv(r *rng.RNG) *mdp.Env {
+	i := r.Intn(s.tr.NumFiles())
+	env, err := mdp.NewEnv(s.model, s.tr.Files[i].SizeGB, s.tr.Reads[i], s.tr.Writes[i], s.initial, s.histLen, s.reward)
+	if err != nil {
+		// Generate/Validate guarantee per-file series are well formed;
+		// reaching here means the trace was corrupted after validation.
+		panic(fmt.Sprintf("rl: trace env: %v", err))
+	}
+	return env
+}
+
+// ReinitEnv re-targets env onto a freshly drawn file in place, consuming
+// exactly the randomness NewEnv would (one file draw), so swapping the two
+// leaves a worker's episode sequence unchanged.
+func (s *TraceSource) ReinitEnv(r *rng.RNG, env *mdp.Env) {
+	i := r.Intn(s.tr.NumFiles())
+	if err := env.Reinit(s.model, s.tr.Files[i].SizeGB, s.tr.Reads[i], s.tr.Writes[i], s.initial, s.histLen, s.reward); err != nil {
+		panic(fmt.Sprintf("rl: trace env: %v", err))
+	}
+}
+
+// TraceFactory returns an EnvFactory over a TraceSource's episode
+// distribution; new code should pass NewTraceSource to TrainFrom instead,
+// which also unlocks allocation-free episode turnover.
+func TraceFactory(model *costmodel.Model, tr *trace.Trace, histLen int, reward mdp.RewardConfig, initial pricing.Tier) (EnvFactory, error) {
+	src, err := NewTraceSource(model, tr, histLen, reward, initial)
+	if err != nil {
+		return nil, err
+	}
+	return src.NewEnv, nil
 }
 
 // EvaluateAgent runs the greedy policy over every file in the trace and
