@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint fuzz check check-parallel smoke-serve bench-inference bench-training bench-envs bench-evaluation bench-serving bench-scaling
+.PHONY: build test lint fuzz check check-parallel smoke-serve smoke-online bench-inference bench-training bench-envs bench-evaluation bench-serving bench-scaling
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ check-parallel:
 # serving, training, and simulation metric families.
 smoke-serve:
 	sh scripts/smoke_serve.sh
+
+# smoke-online boots minicostd with the continuous-learning loop enabled,
+# drives drifting loadgen traffic through it, and asserts at least one
+# fine-tune epoch ran, the drift score is exported on /metrics, and a
+# candidate policy was hot-swapped into serving — then reboots from the
+# learner checkpoint via -load-checkpoint.
+smoke-online:
+	sh scripts/smoke_online.sh
 
 # bench-inference regenerates BENCH_inference.json (single-sample vs batched
 # engine at the paper and Quick configs).

@@ -60,6 +60,9 @@ type summary struct {
 	TrackedFiles int `json:"tracked_files"`
 	Shards       int `json:"shards"`
 	Duplicates   int `json:"duplicates_total"`
+	// DriftFromDay is the first day drawn from the shifted distribution
+	// (-drift); -1 when the run did not drift.
+	DriftFromDay int `json:"drift_from_day"`
 }
 
 func main() {
@@ -74,6 +77,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "shard count for the in-process server (0 = default)")
 		histLen     = flag.Int("hist", 7, "history window of the in-process server's agent")
 		seed        = flag.Uint64("seed", 11, "workload seed")
+		drift       = flag.Bool("drift", false, "shift the size/read-rate distributions mid-run (exercises the online drift detector)")
+		driftAt     = flag.Float64("drift-at", 0.5, "fraction of -days after which -drift kicks in")
 		minObserves = flag.Int64("min-observes", 0, "exit non-zero unless at least this many file-days were ingested")
 		out         = flag.String("o", "", "write the JSON summary here instead of stdout")
 	)
@@ -100,9 +105,21 @@ func main() {
 	obsTimer := reg.Timer("loadgen_observe_seconds", "Observe request latency.")
 	planTimer := reg.Timer("loadgen_plan_seconds", "Plan request latency.")
 
+	// With -drift, days from driftDay on draw from a shifted distribution;
+	// without it driftDay sits past the run.
+	driftDay := *days + 1
+	if *drift {
+		driftDay = int(float64(*days) * *driftAt)
+	}
+
 	sum := summary{
 		Files: *files, Days: *days, Batch: *batch,
 		Concurrency: *concurrency, FullPlans: *planFull,
+	}
+	if *drift {
+		sum.DriftFromDay = driftDay
+	} else {
+		sum.DriftFromDay = -1
 	}
 	if *addr == "" {
 		sum.Target = "in-process"
@@ -160,7 +177,7 @@ func main() {
 					}
 					req.Files = req.Files[:0]
 					for i := lo; i < hi; i++ {
-						req.Files = append(req.Files, synthObservation(i, day, *seed))
+						req.Files = append(req.Files, synthObservation(i, day, *seed, day >= driftDay))
 					}
 					sw := obsTimer.Start()
 					resp, err := client.Observe(req)
@@ -232,10 +249,21 @@ func main() {
 
 // synthObservation builds file i's day-d measurement: sizes spread over
 // three orders of magnitude, request rates on a weekly rhythm that drifts
-// per day so every sweep changes every file's features.
-func synthObservation(i, d int, seed uint64) agentserver.FileObservation {
+// per day so every sweep changes every file's features. In the drifted
+// regime (-drift, once day crosses the threshold) the population goes cold
+// and bulky — sizes grow ~8× and read rates collapse ~100× — the archetypal
+// shift that makes a hot-trained policy overpay and the PSI detector fire.
+func synthObservation(i, d int, seed uint64, drifted bool) agentserver.FileObservation {
 	r := rng.New(seed + uint64(i)*2654435761)
 	base := r.Float64()
+	if drifted {
+		return agentserver.FileObservation{
+			ID:     fmt.Sprintf("f%08d", i),
+			SizeGB: 0.1 + base*base*400,
+			Reads:  base * 20 * float64(1+(i+d)%7) / 7,
+			Writes: base * 2 * float64(1+(i+d)%3) / 3,
+		}
+	}
 	return agentserver.FileObservation{
 		ID:     fmt.Sprintf("f%08d", i),
 		SizeGB: 0.01 + base*base*50,

@@ -112,6 +112,16 @@ type StatsResponse struct {
 	MinShardDay int64 `json:"min_shard_day"`
 }
 
+// ObserveTap receives every validated /v1/observe batch after the serving
+// store has ingested it — the hook the online learner's replay buffer hangs
+// off (internal/online). The call runs inline on the serve path with the
+// batch day counter and the raw (already validated) entries; implementations
+// must be safe for concurrent calls and must not retain the slice past the
+// call.
+type ObserveTap interface {
+	TapObserve(day int64, files []FileObservation)
+}
+
 // Config tunes the serving state tier. The zero value selects the
 // defaults.
 type Config struct {
@@ -123,6 +133,9 @@ type Config struct {
 	// Workers bounds the observe/plan shard fan-out. 0 selects
 	// par.DefaultWorkers at each call.
 	Workers int
+	// Tap, when non-nil, is invoked with every validated observe batch
+	// after ingestion (the online learner's feed). nil disables the tap.
+	Tap ObserveTap
 }
 
 // Server wraps an agent with sharded observation state. Create with New or
@@ -145,6 +158,7 @@ type Server struct {
 	shardMask uint32
 
 	maxObserveBytes int64
+	tap             ObserveTap
 
 	day          atomic.Int64
 	batchSeq     atomic.Uint64
@@ -230,6 +244,7 @@ func NewWithConfig(agent *rl.Agent, initial pricing.Tier, cfg Config) (*Server, 
 		shards:          make([]*shard, shards),
 		shardMask:       uint32(shards - 1),
 		maxObserveBytes: maxBytes,
+		tap:             cfg.Tap,
 		met:             newServeMetrics(),
 	}
 	for i := range s.shards {
@@ -271,6 +286,12 @@ func ceilPow2(n int) int {
 
 // Shards returns the store's partition count.
 func (s *Server) Shards() int { return len(s.shards) }
+
+// SetTap installs the observe tap after construction — minicostd builds the
+// server first, then the online learner (which needs the server), then taps
+// it. Call before the server starts taking traffic; the field is read
+// without synchronization on the observe path.
+func (s *Server) SetTap(tap ObserveTap) { s.tap = tap }
 
 // UpdateAgent swaps in a fresh training snapshot. Pooled replicas of the
 // previous snapshot are invalidated; in-flight plans finish on the weights
@@ -331,7 +352,13 @@ func (s *Server) Observe(req *ObserveRequest) (*ObserveResponse, error) {
 			}
 		}
 	}
-	s.day.Add(1)
+	day := s.day.Add(1)
+	if s.tap != nil {
+		// The tap runs inline after ingestion so a buffered batch is never
+		// ahead of the serving store; the learner's tap is allocation-free
+		// in steady state, keeping the observe hot path's alloc gate intact.
+		s.tap.TapObserve(day, req.Files)
+	}
 	s.observations.Add(int64(n))
 	tracked := s.tracked()
 	s.met.observations.Add(float64(n))

@@ -1,0 +1,60 @@
+package agentserver
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"minicost/internal/pricing"
+)
+
+// tapRecorder captures every tap callback.
+type tapRecorder struct {
+	days    []int64
+	batches [][]FileObservation
+}
+
+func (r *tapRecorder) TapObserve(day int64, files []FileObservation) {
+	r.days = append(r.days, day)
+	cp := append([]FileObservation(nil), files...)
+	r.batches = append(r.batches, cp)
+}
+
+// TestObserveFeedsTap pins the ObserveTap contract: the tap fires once per
+// accepted observe batch, after ingestion, with the server's monotonically
+// increasing day counter and the validated batch — and rejected requests
+// never reach it.
+func TestObserveFeedsTap(t *testing.T) {
+	s, err := NewWithConfig(testAgent(), pricing.Hot, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &tapRecorder{}
+	s.SetTap(rec)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+
+	for d := 0; d < 3; d++ {
+		if _, err := c.Observe(&ObserveRequest{Files: []FileObservation{
+			obsv("a", 100), obsv("b", 5),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invalid batches are rejected before ingestion and must not be tapped.
+	if _, err := c.Observe(&ObserveRequest{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+
+	if len(rec.days) != 3 {
+		t.Fatalf("tap fired %d times, want 3", len(rec.days))
+	}
+	for i, day := range rec.days {
+		if day != int64(i+1) {
+			t.Fatalf("tap days %v, want 1,2,3", rec.days)
+		}
+		if len(rec.batches[i]) != 2 || rec.batches[i][0].ID != "a" || rec.batches[i][1].ID != "b" {
+			t.Fatalf("tap batch %d = %+v", i, rec.batches[i])
+		}
+	}
+}

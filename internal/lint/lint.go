@@ -64,6 +64,7 @@ var DeterministicPackages = map[string]bool{
 	"minicost/internal/multidc":     true,
 	"minicost/internal/forecast":    true,
 	"minicost/internal/pricing":     true,
+	"minicost/internal/online":      true,
 }
 
 // Diagnostic is one finding, positioned in the shared FileSet.

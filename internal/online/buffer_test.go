@@ -1,0 +1,160 @@
+package online
+
+import (
+	"testing"
+
+	"minicost/internal/agentserver"
+)
+
+// obsEntry builds one observation.
+func obsEntry(id string, size, reads, writes float64) agentserver.FileObservation {
+	return agentserver.FileObservation{ID: id, SizeGB: size, Reads: reads, Writes: writes}
+}
+
+// quietDrift returns a drift sink that never calibrates (scores stay 0).
+func quietDrift() *driftStats { return newDriftStats(0) }
+
+func TestBufferRingKeepsLatestWindow(t *testing.T) {
+	b := newBuffer(3, 16, 1)
+	sh := b.shards[0]
+	ds := quietDrift()
+	for day := 1; day <= 5; day++ {
+		batch := []agentserver.FileObservation{obsEntry("f0", 1, float64(day), float64(day*10))}
+		ing, rej := sh.ingestBatch(batch, nil, uint64(day), int64(day), ds)
+		if ing != 1 || rej != 0 {
+			t.Fatalf("day %d: ingested %d rejected %d", day, ing, rej)
+		}
+	}
+	if got := int(sh.fill[0]); got != 3 {
+		t.Fatalf("fill = %d, want 3 (window cap)", got)
+	}
+	rs := make([]float64, 3)
+	ws := make([]float64, 3)
+	sh.mu.Lock()
+	sh.windowLatestInto(0, 3, rs, ws)
+	sh.mu.Unlock()
+	for i, want := range []float64{3, 4, 5} {
+		if rs[i] != want || ws[i] != want*10 {
+			t.Fatalf("window[%d] = (%v, %v), want (%v, %v)", i, rs[i], ws[i], want, want*10)
+		}
+	}
+}
+
+func TestBufferAdmissionBounded(t *testing.T) {
+	b := newBuffer(4, 3, 1)
+	sh := b.shards[0]
+	ds := quietDrift()
+	batch := []agentserver.FileObservation{
+		obsEntry("a", 1, 1, 1), obsEntry("b", 1, 1, 1), obsEntry("c", 1, 1, 1),
+		obsEntry("d", 1, 1, 1), obsEntry("e", 1, 1, 1),
+	}
+	ing, rej := sh.ingestBatch(batch, nil, 1, 1, ds)
+	if ing != 3 || rej != 2 {
+		t.Fatalf("ingested %d rejected %d, want 3/2", ing, rej)
+	}
+	if b.files() != 3 {
+		t.Fatalf("files = %d, want 3", b.files())
+	}
+	// Already-admitted files keep updating; the stranger stays rejected.
+	batch2 := []agentserver.FileObservation{obsEntry("a", 2, 5, 5), obsEntry("d", 1, 1, 1)}
+	ing, rej = sh.ingestBatch(batch2, nil, 2, 2, ds)
+	if ing != 1 || rej != 1 {
+		t.Fatalf("second batch ingested %d rejected %d, want 1/1", ing, rej)
+	}
+	if sh.size[sh.index["a"]] != 2 {
+		t.Fatalf("admitted file did not update")
+	}
+}
+
+func TestBufferDuplicateLastWins(t *testing.T) {
+	b := newBuffer(4, 8, 1)
+	sh := b.shards[0]
+	ds := quietDrift()
+	batch := []agentserver.FileObservation{
+		obsEntry("x", 1, 10, 1),
+		obsEntry("x", 2, 99, 7),
+	}
+	ing, rej := sh.ingestBatch(batch, nil, 1, 1, ds)
+	if ing != 2 || rej != 0 {
+		t.Fatalf("ingested %d rejected %d", ing, rej)
+	}
+	slot := sh.index["x"]
+	if got := int(sh.fill[slot]); got != 1 {
+		t.Fatalf("duplicate advanced the ring: fill = %d, want 1", got)
+	}
+	rs := make([]float64, 1)
+	ws := make([]float64, 1)
+	sh.mu.Lock()
+	sh.windowLatestInto(slot, 1, rs, ws)
+	sh.mu.Unlock()
+	if rs[0] != 99 || ws[0] != 7 || sh.size[slot] != 2 {
+		t.Fatalf("last entry did not win: reads=%v writes=%v size=%v", rs[0], ws[0], sh.size[slot])
+	}
+}
+
+func TestSnapshotTraceSplitAndAlignment(t *testing.T) {
+	b := newBuffer(6, 64, 1)
+	sh := b.shards[0]
+	ds := quietDrift()
+	// Ten files observed for 5 days, one latecomer observed for 2.
+	for day := 1; day <= 5; day++ {
+		var batch []agentserver.FileObservation
+		for i := 0; i < 10; i++ {
+			batch = append(batch, obsEntry(fid(i), float64(i+1), float64(day*10+i), 1))
+		}
+		if day >= 4 {
+			batch = append(batch, obsEntry("late", 0.5, 1, 1))
+		}
+		sh.ingestBatch(batch, nil, uint64(day), int64(day), ds)
+	}
+
+	// minDays 3 excludes the latecomer (fill 2) and aligns on 5 days.
+	train, holdout := b.snapshotTrace(3, 4)
+	if train == nil || holdout == nil {
+		t.Fatal("expected both splits")
+	}
+	if train.Days != 5 || holdout.Days != 5 {
+		t.Fatalf("days = %d/%d, want 5", train.Days, holdout.Days)
+	}
+	// Every 4th of 10 eligible files is held out: indices 0, 4, 8.
+	if holdout.NumFiles() != 3 || train.NumFiles() != 7 {
+		t.Fatalf("split = %d train / %d holdout, want 7/3", train.NumFiles(), holdout.NumFiles())
+	}
+	for i := range train.Reads {
+		if len(train.Reads[i]) != 5 || len(train.Writes[i]) != 5 {
+			t.Fatalf("train series %d misaligned", i)
+		}
+	}
+
+	// minDays 2 admits the latecomer and truncates everyone to 2 days.
+	train2, _ := b.snapshotTrace(2, -1)
+	if train2 == nil || train2.Days != 2 || train2.NumFiles() != 11 {
+		t.Fatalf("minDays 2: got %v days, %d files; want 2 days, 11 files",
+			train2.Days, train2.NumFiles())
+	}
+	// The truncated series carry the most recent days (4 and 5).
+	for i := range train2.Reads {
+		if train2.Files[i].SizeGB == 0.5 {
+			continue // the latecomer's own pattern
+		}
+		if train2.Reads[i][0] < 40 {
+			t.Fatalf("series %d does not start at the latest window: %v", i, train2.Reads[i])
+		}
+	}
+
+	// No holdout requested.
+	_, none := b.snapshotTrace(3, -1)
+	if none != nil {
+		t.Fatal("holdoutEvery < 0 must disable the holdout")
+	}
+
+	// Empty buffer → nil.
+	empty := newBuffer(4, 4, 2)
+	if tr, ho := empty.snapshotTrace(1, 5); tr != nil || ho != nil {
+		t.Fatal("empty buffer must snapshot to nil")
+	}
+}
+
+func fid(i int) string {
+	return string([]byte{'f', byte('0' + i/10), byte('0' + i%10)})
+}

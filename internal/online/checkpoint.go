@@ -1,0 +1,133 @@
+package online
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"minicost/internal/rl"
+)
+
+// Checkpoint files are the learner's crash-recovery and redeploy story:
+// after every accepted fine-tune epoch the full trainer state (actor +
+// critic) is written as learner-<seq>.ckpt via a temp-file + atomic-rename
+// protocol, so a reader (or a crashed writer) never sees a torn file, and
+// old checkpoints beyond the retention count are pruned. The sequence
+// number is zero-padded so lexicographic directory order is chronological
+// order; minicostd's -load-checkpoint boots serving straight from the
+// newest one (rl.LoadAgent reads the trainer format, ignoring the critic).
+
+const (
+	checkpointPrefix = "learner-"
+	checkpointSuffix = ".ckpt"
+)
+
+// checkpointName formats the on-disk name for epoch sequence seq.
+func checkpointName(seq int64) string {
+	return fmt.Sprintf("%s%010d%s", checkpointPrefix, seq, checkpointSuffix)
+}
+
+// writeCheckpoint atomically persists the trainer's state to dir and prunes
+// all but the newest `keep` checkpoints (keep <= 0 keeps everything).
+// Returns the final path.
+func writeCheckpoint(dir string, seq int64, keep int, tr *rl.A3C) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("online: checkpoint dir: %w", err)
+	}
+	final := filepath.Join(dir, checkpointName(seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("online: checkpoint: %w", err)
+	}
+	if err := tr.SaveCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", fmt.Errorf("online: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("online: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("online: checkpoint rename: %w", err)
+	}
+	if keep > 0 {
+		if err := pruneCheckpoints(dir, keep); err != nil {
+			return final, err
+		}
+	}
+	return final, nil
+}
+
+// listCheckpoints returns the checkpoint file names in dir, oldest first.
+// os.ReadDir sorts by name, and the zero-padded sequence makes name order
+// chronological.
+func listCheckpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("online: list checkpoints: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+			continue
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// pruneCheckpoints removes all but the newest `keep` checkpoints in dir.
+func pruneCheckpoints(dir string, keep int) error {
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+keep < len(names); i++ {
+		if err := os.Remove(filepath.Join(dir, names[i])); err != nil {
+			return fmt.Errorf("online: prune checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// LatestCheckpoint returns the path of the newest learner checkpoint in
+// dir, or "" when none exists.
+func LatestCheckpoint(dir string) (string, error) {
+	names, err := listCheckpoints(dir)
+	if err != nil || len(names) == 0 {
+		return "", err
+	}
+	return filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// LoadTrainer builds an A3C from cfg and restores the trainer state saved
+// at path — minicostd's boot path for resuming the online learner from a
+// prior run's checkpoint.
+func LoadTrainer(cfg rl.A3CConfig, path string) (*rl.A3C, error) {
+	tr, err := rl.NewA3C(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("online: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := tr.LoadCheckpoint(f); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,115 @@
+package online
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+)
+
+// TestCheckpointRoundTripMidFineTune is satellite 2's restore guarantee: a
+// checkpoint written mid-fine-tune must restore both the trainer (actor +
+// critic) and a serving agent (rl.LoadAgent reads the same format) to
+// bitwise-identical weights, and the atomic-rename protocol must leave no
+// temp file behind.
+func TestCheckpointRoundTripMidFineTune(t *testing.T) {
+	cfg := testA3CConfig(21)
+	tr, err := rl.NewA3C(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.New(pricing.Azure())
+	src, err := rl.NewTraceSource(model, testTrace(t, 6, 10, 3, false), cfg.Net.HistLen, mdp.DefaultReward(), pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.FineTune(src, 128); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path, err := writeCheckpoint(dir, 3, 5, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := filepath.Base(path); got != checkpointName(3) {
+		t.Fatalf("checkpoint name %q, want %q", got, checkpointName(3))
+	}
+
+	re, err := LoadTrainer(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantC := tr.ParamVectors()
+	gotA, gotC := re.ParamVectors()
+	bitwiseEq(t, "restored actor", gotA, wantA)
+	bitwiseEq(t, "restored critic", gotC, wantC)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := rl.LoadAgent(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEq(t, "serving actor", agent.ParamVector(), tr.Snapshot().ParamVector())
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+}
+
+// TestCheckpointRetention writes a sequence of checkpoints with keep=3 and
+// asserts only the newest three survive, in chronological name order, with
+// LatestCheckpoint pointing at the last one.
+func TestCheckpointRetention(t *testing.T) {
+	tr := testTrainer(t, 5)
+	dir := t.TempDir()
+	for seq := int64(1); seq <= 7; seq++ {
+		if _, err := writeCheckpoint(dir, seq, 3, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{checkpointName(5), checkpointName(6), checkpointName(7)}
+	if len(names) != len(want) {
+		t.Fatalf("retained %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("retained %v, want %v", names, want)
+		}
+	}
+	latest, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != filepath.Join(dir, checkpointName(7)) {
+		t.Fatalf("latest = %q", latest)
+	}
+}
+
+// TestLatestCheckpointMissingDir: a never-created directory is "no
+// checkpoint yet", not an error (minicostd probes before the first run).
+func TestLatestCheckpointMissingDir(t *testing.T) {
+	latest, err := LatestCheckpoint(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || latest != "" {
+		t.Fatalf("got (%q, %v), want empty, nil", latest, err)
+	}
+}

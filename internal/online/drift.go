@@ -1,0 +1,240 @@
+package online
+
+import "math"
+
+// Drift detection compares the live observation stream against the
+// distribution the serving policy was trained on, per ISSUE 10: a policy
+// trained offline keeps minimizing cost only while the workload still looks
+// like its training trace. Four streaming dimensions are tracked — daily
+// read rate, daily write rate, file size, and inter-access gap (batches
+// between a file's active days) — each as a fixed-edge histogram, and each
+// scored with the population stability index
+//
+//	PSI = Σ_buckets (curP − baseP) · ln(curP / baseP)
+//
+// which is the symmetrized KL divergence between the baseline and current
+// bucket distributions. The conventional reading: < 0.1 stable, 0.1–0.25
+// moderate shift, > 0.25 drifted. The exported drift score is the maximum
+// over the four dimensions, so a shift in any one statistic can trip the
+// retraining trigger.
+//
+// Bucket edges are fixed (log-scale, spanning the workload ranges the paper
+// and loadgen produce) rather than adaptive, so scoring is O(buckets) with
+// no allocation and the score is a deterministic function of the observed
+// values alone.
+
+// psiEps floors bucket proportions so empty buckets contribute a large but
+// finite penalty instead of ±Inf.
+const psiEps = 1e-4
+
+// minDriftSamples is the per-dimension sample count below which the PSI is
+// reported as zero — a handful of observations says nothing about drift.
+const minDriftSamples = 64
+
+var (
+	// readEdges/writeEdges bucket daily operation counts per file.
+	readEdges  = [...]float64{0.5, 5, 50, 500, 5e3, 5e4, 5e5}
+	writeEdges = [...]float64{0.5, 5, 50, 500, 5e3, 5e4, 5e5}
+	// sizeEdges bucket file sizes in GB (loadgen emits 0.01–50 GB).
+	sizeEdges = [...]float64{0.02, 0.1, 0.5, 2, 10, 50, 250}
+	// gapEdges bucket inter-access gaps in observe batches.
+	gapEdges = [...]float64{1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5}
+)
+
+// driftHist is one dimension's streaming histogram: len(edges)+1 buckets,
+// bucket i holding values v with edges[i-1] <= v < edges[i].
+type driftHist struct {
+	edges  []float64
+	counts []float64
+	total  float64
+}
+
+func newDriftHist(edges []float64) driftHist {
+	return driftHist{edges: edges, counts: make([]float64, len(edges)+1)}
+}
+
+// observe adds one sample. Linear scan: the edge arrays are seven entries,
+// shorter than a branchy binary search for values that concentrate in the
+// low buckets.
+//
+//minicost:hotpath
+func (h *driftHist) observe(v float64) {
+	i := 0
+	for i < len(h.edges) && v >= h.edges[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+}
+
+func (h *driftHist) reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// addInto folds this histogram's counts into dst (same edge set).
+func (h *driftHist) addInto(dst *driftHist) {
+	for i, c := range h.counts {
+		dst.counts[i] += c
+	}
+	dst.total += h.total
+}
+
+// psiVs scores this histogram (current window) against base. Returns 0
+// until both sides carry minDriftSamples.
+//
+//minicost:hotpath
+func (h *driftHist) psiVs(base *driftHist) float64 {
+	if h.total < minDriftSamples || base.total < minDriftSamples {
+		return 0
+	}
+	score := 0.0
+	for i := range h.counts {
+		cur := h.counts[i] / h.total
+		ref := base.counts[i] / base.total
+		if cur < psiEps {
+			cur = psiEps
+		}
+		if ref < psiEps {
+			ref = psiEps
+		}
+		score += (cur - ref) * math.Log(cur/ref)
+	}
+	return score
+}
+
+// driftDims indexes the tracked dimensions.
+const (
+	dimReads = iota
+	dimWrites
+	dimSize
+	dimGap
+	numDriftDims
+)
+
+var driftDimNames = [numDriftDims]string{"reads", "writes", "size_gb", "gap_batches"}
+
+// driftStats holds the four-dimensional baseline and current-window
+// histograms. Not internally locked: the learner mutates it only under its
+// tap mutex.
+type driftStats struct {
+	base [numDriftDims]driftHist
+	cur  [numDriftDims]driftHist
+
+	// calibrating self-builds the baseline from the first calibBatches tap
+	// batches when no training trace was supplied.
+	calibrating  bool
+	calibBatches int
+	seenBatches  int
+}
+
+// newDriftStats builds an empty detector. calibBatches > 0 self-calibrates
+// the baseline from that many initial tap batches; with a training trace
+// available, call setBaselineFromSeries instead and pass 0.
+func newDriftStats(calibBatches int) *driftStats {
+	ds := &driftStats{calibrating: calibBatches > 0, calibBatches: calibBatches}
+	edges := [numDriftDims][]float64{readEdges[:], writeEdges[:], sizeEdges[:], gapEdges[:]}
+	for d := 0; d < numDriftDims; d++ {
+		ds.base[d] = newDriftHist(edges[d])
+		ds.cur[d] = newDriftHist(edges[d])
+	}
+	return ds
+}
+
+// target returns the histogram set samples are flowing into: the baseline
+// while self-calibrating, the current window afterwards.
+//
+//minicost:hotpath
+func (ds *driftStats) target() *[numDriftDims]driftHist {
+	if ds.calibrating {
+		return &ds.base
+	}
+	return &ds.cur
+}
+
+//minicost:hotpath
+func (ds *driftStats) observeReads(v float64) { ds.target()[dimReads].observe(v) }
+
+//minicost:hotpath
+func (ds *driftStats) observeWrites(v float64) { ds.target()[dimWrites].observe(v) }
+
+//minicost:hotpath
+func (ds *driftStats) observeSize(v float64) { ds.target()[dimSize].observe(v) }
+
+//minicost:hotpath
+func (ds *driftStats) observeGap(v float64) { ds.target()[dimGap].observe(v) }
+
+// endBatch advances the self-calibration window; the learner calls it once
+// per tap batch.
+func (ds *driftStats) endBatch() {
+	if !ds.calibrating {
+		return
+	}
+	ds.seenBatches++
+	if ds.seenBatches >= ds.calibBatches {
+		ds.calibrating = false
+	}
+}
+
+// score returns the current drift score: max PSI over the dimensions.
+//
+//minicost:hotpath
+func (ds *driftStats) score() float64 {
+	if ds.calibrating {
+		return 0
+	}
+	max := 0.0
+	for d := 0; d < numDriftDims; d++ {
+		if s := ds.cur[d].psiVs(&ds.base[d]); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// dimScores reports the per-dimension PSIs (for /v1/learner).
+func (ds *driftStats) dimScores() [numDriftDims]float64 {
+	var out [numDriftDims]float64
+	if ds.calibrating {
+		return out
+	}
+	for d := 0; d < numDriftDims; d++ {
+		out[d] = ds.cur[d].psiVs(&ds.base[d])
+	}
+	return out
+}
+
+// rebaseline folds the current window into the baseline and clears it —
+// called after an accepted fine-tune epoch, when the just-trained data
+// becomes the new reference distribution.
+func (ds *driftStats) rebaseline() {
+	for d := 0; d < numDriftDims; d++ {
+		ds.cur[d].addInto(&ds.base[d])
+		ds.cur[d].reset()
+	}
+}
+
+// setBaselineFromSeries seeds the baseline from training-trace series: one
+// reads/writes/size sample per file-day (matching the tap's weighting) and
+// a gap sample per pair of consecutive active days. Disables
+// self-calibration.
+func (ds *driftStats) setBaselineFromSeries(sizeGB []float64, reads, writes [][]float64) {
+	for i := range reads {
+		lastActive := -1
+		for d := range reads[i] {
+			ds.base[dimReads].observe(reads[i][d])
+			ds.base[dimWrites].observe(writes[i][d])
+			ds.base[dimSize].observe(sizeGB[i])
+			if reads[i][d] > 0 || writes[i][d] > 0 {
+				if lastActive >= 0 {
+					ds.base[dimGap].observe(float64(d - lastActive))
+				}
+				lastActive = d
+			}
+		}
+	}
+	ds.calibrating = false
+	ds.calibBatches = 0
+}

@@ -1,0 +1,115 @@
+package online
+
+import (
+	"testing"
+
+	"minicost/internal/rng"
+)
+
+// fill streams n samples from a synthetic hot-ish distribution into the
+// detector's active target (baseline while calibrating, current after).
+func fillDist(ds *driftStats, n int, seed uint64, cold bool) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		base := r.Float64()
+		if cold {
+			ds.observeReads(base * 20)
+			ds.observeWrites(base * 2)
+			ds.observeSize(0.1 + base*base*400)
+		} else {
+			ds.observeReads(base * 2000)
+			ds.observeWrites(base * 20)
+			ds.observeSize(0.01 + base*base*50)
+		}
+		ds.observeGap(1 + float64(i%4))
+	}
+}
+
+func TestDriftStableDistributionScoresLow(t *testing.T) {
+	ds := newDriftStats(1)
+	fillDist(ds, 2000, 1, false)
+	ds.endBatch()
+	if ds.calibrating {
+		t.Fatal("one batch should finish calibration")
+	}
+	fillDist(ds, 2000, 2, false) // same distribution, different draw
+	if s := ds.score(); s > 0.05 {
+		t.Fatalf("same-distribution PSI = %v, want < 0.05", s)
+	}
+}
+
+func TestDriftShiftScoresHigh(t *testing.T) {
+	ds := newDriftStats(1)
+	fillDist(ds, 2000, 1, false)
+	ds.endBatch()
+	fillDist(ds, 2000, 2, true) // cold+bulky regime
+	if s := ds.score(); s < 0.25 {
+		t.Fatalf("shifted-distribution PSI = %v, want >= 0.25", s)
+	}
+	dims := ds.dimScores()
+	if dims[dimReads] < 0.25 && dims[dimSize] < 0.25 {
+		t.Fatalf("expected reads or size dimension to carry the shift, got %v", dims)
+	}
+}
+
+func TestDriftMinSamplesGate(t *testing.T) {
+	ds := newDriftStats(1)
+	fillDist(ds, 1000, 1, false)
+	ds.endBatch()
+	fillDist(ds, minDriftSamples-1, 2, true)
+	if s := ds.score(); s != 0 {
+		t.Fatalf("score with %d samples = %v, want 0", minDriftSamples-1, s)
+	}
+}
+
+func TestDriftScoreZeroWhileCalibrating(t *testing.T) {
+	ds := newDriftStats(3)
+	fillDist(ds, 1000, 1, false)
+	ds.endBatch()
+	if !ds.calibrating {
+		t.Fatal("should still be calibrating after 1 of 3 batches")
+	}
+	if s := ds.score(); s != 0 {
+		t.Fatalf("score during calibration = %v, want 0", s)
+	}
+}
+
+func TestDriftRebaselineConsumesShift(t *testing.T) {
+	ds := newDriftStats(1)
+	fillDist(ds, 2000, 1, false)
+	ds.endBatch()
+	fillDist(ds, 2000, 2, true)
+	before := ds.score()
+	if before < 0.25 {
+		t.Fatalf("precondition: shift not detected (%v)", before)
+	}
+	ds.rebaseline()
+	if s := ds.score(); s != 0 {
+		t.Fatalf("score after rebaseline = %v, want 0 (empty current window)", s)
+	}
+	// The shifted window is now baseline mass: continued cold traffic scores
+	// strictly lower than the original shift did.
+	fillDist(ds, 2000, 3, true)
+	if s := ds.score(); s >= before {
+		t.Fatalf("post-rebaseline cold traffic PSI = %v, want < %v", s, before)
+	}
+}
+
+func TestDriftBaselineFromSeries(t *testing.T) {
+	ds := newDriftStats(5)
+	// Two files × 6 days, with gaps in activity.
+	sizes := []float64{1, 10}
+	reads := [][]float64{{100, 0, 0, 100, 0, 100}, {5, 5, 0, 0, 5, 5}}
+	writes := [][]float64{{1, 0, 0, 1, 0, 1}, {0, 0, 0, 0, 0, 0}}
+	ds.setBaselineFromSeries(sizes, reads, writes)
+	if ds.calibrating {
+		t.Fatal("trace baseline must disable self-calibration")
+	}
+	if got := ds.base[dimReads].total; got != 12 {
+		t.Fatalf("baseline read samples = %v, want 12 (one per file-day)", got)
+	}
+	// File 0 active days: 0,3,5 → gaps 3,2. File 1: 0,1,4,5 → gaps 1,3,1.
+	if got := ds.base[dimGap].total; got != 5 {
+		t.Fatalf("baseline gap samples = %v, want 5", got)
+	}
+}

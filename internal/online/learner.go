@@ -1,0 +1,583 @@
+package online
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"minicost/internal/agentserver"
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/trace"
+)
+
+// Epoch trigger reasons, reported in Status.LastEpochReason.
+const (
+	reasonDrift   = "drift"
+	reasonCadence = "cadence"
+	reasonManual  = "manual"
+)
+
+// ErrNotEnoughData reports that a fine-tune epoch was requested before the
+// replay buffer held any file with MinTrainDays of history.
+var ErrNotEnoughData = errors.New("online: not enough buffered data to fine-tune")
+
+// Config wires a Learner into a running daemon. Trainer, Serving, and Model
+// are required; zero values elsewhere select the documented defaults.
+type Config struct {
+	// Trainer is the A3C instance fine-tune epochs resume. Its published
+	// weights must match the serving policy at construction (minicostd
+	// installs the serving actor via SetParamVectors when they could
+	// differ); the Learner snapshots them as the initial incumbent.
+	Trainer *rl.A3C
+	// Serving is the hot-swap target: accepted candidates go through its
+	// UpdateAgent/ReplicaPool double-buffered snapshot machinery.
+	Serving *agentserver.Server
+	// Model prices the reconstructed training environments and the
+	// validation-gate evaluations.
+	Model *costmodel.Model
+	// Reward parameterizes Eq. 4 for reconstructed episodes. The zero value
+	// is NOT defaulted — pass mdp.DefaultReward() unless deliberately
+	// reshaping the online reward.
+	Reward mdp.RewardConfig
+	// Initial is the tier reconstructed episodes start in (hot, per §4.2).
+	Initial pricing.Tier
+
+	// BufferWindow is the replay ring length in observe batches per file.
+	// 0 selects max(2×histLen, 16).
+	BufferWindow int
+	// BufferFiles bounds the replay buffer population. 0 selects 65536.
+	BufferFiles int
+	// BufferShards is the buffer partition count (rounded up to a power of
+	// two). 0 selects 8.
+	BufferShards int
+
+	// FinetuneEvery schedules a cadence epoch every N tap batches. The
+	// cadence is count-based, not wall-clock, so a replayed observation
+	// sequence schedules identically. 0 disables cadence epochs (drift can
+	// still trigger).
+	FinetuneEvery int
+	// FinetuneSteps is the environment-step budget per epoch. 0 selects
+	// 2048.
+	FinetuneSteps int64
+	// MinTrainDays is the observed-day minimum for a buffered file to enter
+	// a training snapshot. 0 selects histLen (clamped to the window).
+	MinTrainDays int
+	// HoldoutEvery holds out every k-th eligible file for the validation
+	// gate. 0 selects 5 (a 20% slice); negative disables the holdout.
+	HoldoutEvery int
+
+	// DriftThreshold triggers an epoch when the PSI drift score reaches it.
+	// 0 disables drift triggering (the score is still computed/exported).
+	DriftThreshold float64
+	// BaselineBatches self-calibrates the drift baseline from that many
+	// initial tap batches when SetBaselineFromTrace was not called. 0
+	// selects 4.
+	BaselineBatches int
+
+	// SwapGate requires a candidate to not regress simulated cost on the
+	// held-out slice vs. the incumbent before swapping; rejected candidates
+	// roll the trainer back. Without a holdout (HoldoutEvery < 0, or no
+	// eligible holdout files yet) the gate has no evidence and admits.
+	SwapGate bool
+	// SwapMargin is the gate's relative slack: a candidate passes while
+	// candidateCost <= incumbentCost × (1+SwapMargin). 0 means equal cost
+	// still passes.
+	SwapMargin float64
+
+	// CheckpointDir, when set, persists the trainer after every accepted
+	// swap (atomic rename; see checkpoint.go).
+	CheckpointDir string
+	// CheckpointKeep bounds retained checkpoints. 0 selects 5; negative
+	// keeps everything.
+	CheckpointKeep int
+}
+
+// Status is the learner's externally visible state (/v1/learner, /healthz).
+type Status struct {
+	Batches      int64 `json:"batches"`
+	BufferFiles  int   `json:"buffer_files"`
+	BufferWindow int   `json:"buffer_window"`
+
+	DriftScore  float64            `json:"drift_score"`
+	DriftDims   map[string]float64 `json:"drift_dims"`
+	Calibrating bool               `json:"calibrating"`
+
+	Epochs            int64   `json:"epochs"`
+	LastEpochReason   string  `json:"last_epoch_reason,omitempty"`
+	LastEpochSteps    int64   `json:"last_epoch_steps"`
+	LastEpochSeconds  float64 `json:"last_epoch_seconds"`
+	LastTrainFiles    int     `json:"last_train_files"`
+	LastHoldoutFiles  int     `json:"last_holdout_files"`
+	LastCandidateCost float64 `json:"last_candidate_cost"`
+	LastIncumbentCost float64 `json:"last_incumbent_cost"`
+	LastDisagreement  float64 `json:"last_disagreement"`
+
+	Swaps          int64  `json:"swaps"`
+	SwapsRejected  int64  `json:"swaps_rejected"`
+	Checkpoints    int64  `json:"checkpoints"`
+	LastCheckpoint string `json:"last_checkpoint,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
+}
+
+// Learner is the continuous-learning control loop. The serve path feeds it
+// through TapObserve (agentserver.ObserveTap); a background goroutine
+// (Start) runs fine-tune epochs when the tap schedules them; epochs
+// snapshot the buffer, resume the trainer, validate the candidate against
+// the incumbent on the held-out slice, and either hot-swap serving or roll
+// the trainer back.
+type Learner struct {
+	cfg     Config
+	histLen int
+	buf     *buffer
+
+	kick   chan struct{}
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	// tapMu guards everything the observe tap touches: the bucketing
+	// scratch, the drift detector, batch counters, and epoch-trigger
+	// bookkeeping. Buffer shard locks nest inside it.
+	tapMu          sync.Mutex
+	drift          *driftStats
+	seq            uint64
+	batches        int64
+	lastEpochBatch int64
+	pendingReason  string
+	lastScore      float64
+	home, order    []int32 // per-entry bucketing scratch, grown on demand
+	offsets, pos   []int32 // per-shard counting-sort scratch, fixed size
+
+	// epochMu serializes fine-tune epochs (the loop goroutine and any
+	// direct RunEpoch callers).
+	epochMu sync.Mutex
+
+	// stMu guards the status block and the incumbent policy.
+	stMu      sync.Mutex
+	incumbent *rl.Agent
+	ckptSeq   int64
+	st        Status
+}
+
+// New validates cfg, applies defaults, and builds a Learner whose incumbent
+// is the trainer's current snapshot. Call Start to run the background loop,
+// and pass the Learner as agentserver.Config.Tap (or call TapObserve
+// directly) to feed it.
+func New(cfg Config) (*Learner, error) {
+	if cfg.Trainer == nil {
+		return nil, errors.New("online: nil trainer")
+	}
+	if cfg.Serving == nil {
+		return nil, errors.New("online: nil serving server")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("online: nil cost model")
+	}
+	if !cfg.Initial.Valid() {
+		return nil, errors.New("online: invalid initial tier")
+	}
+	histLen := cfg.Trainer.Config().Net.HistLen
+	if got := cfg.Serving.Stats().HistLen; got != histLen {
+		return nil, fmt.Errorf("online: trainer hist window %d, serving tracks %d", histLen, got)
+	}
+	if cfg.BufferWindow == 0 {
+		cfg.BufferWindow = 2 * histLen
+		if cfg.BufferWindow < 16 {
+			cfg.BufferWindow = 16
+		}
+	}
+	if cfg.BufferWindow < 1 {
+		return nil, fmt.Errorf("online: buffer window %d", cfg.BufferWindow)
+	}
+	if cfg.BufferFiles == 0 {
+		cfg.BufferFiles = 65536
+	}
+	if cfg.BufferFiles < 1 {
+		return nil, fmt.Errorf("online: buffer capacity %d", cfg.BufferFiles)
+	}
+	if cfg.BufferShards == 0 {
+		cfg.BufferShards = 8
+	}
+	if cfg.FinetuneEvery < 0 || cfg.DriftThreshold < 0 {
+		return nil, errors.New("online: negative cadence or drift threshold")
+	}
+	if cfg.FinetuneSteps == 0 {
+		cfg.FinetuneSteps = 2048
+	}
+	if cfg.FinetuneSteps < 0 {
+		return nil, fmt.Errorf("online: fine-tune steps %d", cfg.FinetuneSteps)
+	}
+	if cfg.MinTrainDays == 0 {
+		cfg.MinTrainDays = histLen
+	}
+	if cfg.MinTrainDays > cfg.BufferWindow {
+		cfg.MinTrainDays = cfg.BufferWindow
+	}
+	if cfg.HoldoutEvery == 0 {
+		cfg.HoldoutEvery = 5
+	}
+	if cfg.BaselineBatches == 0 {
+		cfg.BaselineBatches = 4
+	}
+	if cfg.CheckpointKeep == 0 {
+		cfg.CheckpointKeep = 5
+	}
+	buf := newBuffer(cfg.BufferWindow, cfg.BufferFiles, cfg.BufferShards)
+	p := len(buf.shards)
+	l := &Learner{
+		cfg:       cfg,
+		histLen:   histLen,
+		buf:       buf,
+		kick:      make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		drift:     newDriftStats(cfg.BaselineBatches),
+		offsets:   make([]int32, p+1),
+		pos:       make([]int32, p),
+		incumbent: cfg.Trainer.Snapshot(),
+	}
+	return l, nil
+}
+
+// SetBaselineFromTrace seeds the drift baseline from the training trace the
+// serving policy was trained on, replacing self-calibration — the intended
+// wiring when the historical trace is at hand (minicostd's bootstrap path).
+func (l *Learner) SetBaselineFromTrace(tr *trace.Trace) {
+	sizes := make([]float64, len(tr.Files))
+	for i := range tr.Files {
+		sizes[i] = tr.Files[i].SizeGB
+	}
+	l.tapMu.Lock()
+	l.drift.setBaselineFromSeries(sizes, tr.Reads, tr.Writes)
+	l.tapMu.Unlock()
+}
+
+// Start launches the background epoch loop. Pair with Stop.
+func (l *Learner) Start() {
+	go l.runLoop()
+}
+
+// Stop terminates the background loop, waiting for an in-flight epoch to
+// finish. The tap keeps buffering after Stop; only epoch execution halts.
+func (l *Learner) Stop() {
+	close(l.stopCh)
+	<-l.doneCh
+}
+
+func (l *Learner) runLoop() {
+	defer close(l.doneCh)
+	for {
+		select {
+		case <-l.stopCh:
+			return
+		case <-l.kick:
+			// Epoch errors land in Status.LastError; the loop keeps serving
+			// future triggers regardless.
+			_ = l.RunEpoch()
+		}
+	}
+}
+
+// TapObserve ingests one validated observe batch into the replay buffer and
+// updates the drift detector — the agentserver.ObserveTap hook, called
+// inline on the serve path. Steady state performs no allocation: bucketing
+// scratch is persistent (grown on population increases only), shard ingest
+// writes flat arrays, and drift scoring is O(buckets). Epochs are only
+// scheduled here (non-blocking channel kick); training never runs on the
+// serve path.
+//
+//minicost:hotpath
+func (l *Learner) TapObserve(day int64, files []agentserver.FileObservation) {
+	n := len(files)
+	if n == 0 {
+		return
+	}
+	l.tapMu.Lock()
+	l.seq++
+	seq := l.seq
+	ingested, rejected := 0, 0
+	p := len(l.buf.shards)
+	if p == 1 {
+		ingested, rejected = l.buf.shards[0].ingestBatch(files, nil, seq, day, l.drift)
+	} else {
+		if cap(l.home) < n {
+			l.home = make([]int32, n)
+			l.order = make([]int32, n)
+		}
+		home := l.home[:n]
+		order := l.order[:n]
+		counts := l.offsets
+		for i := 0; i <= p; i++ {
+			counts[i] = 0
+		}
+		for i := range files {
+			si := int32(shardOf(files[i].ID, l.buf.mask))
+			home[i] = si
+			counts[si+1]++
+		}
+		for i := 1; i <= p; i++ {
+			counts[i] += counts[i-1]
+		}
+		for i := 0; i < p; i++ {
+			l.pos[i] = counts[i]
+		}
+		for i := range home {
+			order[l.pos[home[i]]] = int32(i)
+			l.pos[home[i]]++
+		}
+		// Shards are applied serially in index order: ingest is flat array
+		// writes, and a fixed order keeps the drift accumulation — and so
+		// the drift score — a pure function of the batch sequence.
+		for si := 0; si < p; si++ {
+			ing, rej := l.buf.shards[si].ingestBatch(files, order[counts[si]:counts[si+1]], seq, day, l.drift)
+			ingested += ing
+			rejected += rej
+		}
+	}
+	l.drift.endBatch()
+	l.batches++
+	batches := l.batches
+	score := l.drift.score()
+	l.lastScore = score
+	fire := ""
+	if l.pendingReason == "" {
+		if l.cfg.DriftThreshold > 0 && score >= l.cfg.DriftThreshold && batches > l.lastEpochBatch {
+			fire = reasonDrift
+		} else if l.cfg.FinetuneEvery > 0 && batches-l.lastEpochBatch >= int64(l.cfg.FinetuneEvery) {
+			fire = reasonCadence
+		}
+		l.pendingReason = fire
+	}
+	bufFiles := l.buf.files()
+	l.tapMu.Unlock()
+	if fire != "" {
+		if fire == reasonDrift {
+			learnMet.driftTriggers.Inc()
+		}
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	learnMet.observations.Add(float64(ingested))
+	if rejected > 0 {
+		learnMet.bufferRejected.Add(float64(rejected))
+	}
+	learnMet.bufferFiles.Set(float64(bufFiles))
+	learnMet.driftScore.Set(score)
+}
+
+// RunEpoch runs one fine-tune epoch synchronously: snapshot the buffer into
+// train/holdout traces, resume the trainer for FinetuneSteps on the train
+// slice, then offer the resulting candidate to the swap gate. Returns
+// ErrNotEnoughData when the buffer cannot yet produce a training trace.
+// Safe to call concurrently with taps and with the background loop (epochs
+// serialize on an internal mutex).
+func (l *Learner) RunEpoch() error {
+	l.epochMu.Lock()
+	defer l.epochMu.Unlock()
+	sw := learnMet.epochLat.Start()
+	start := time.Now() //minicost:allow-wallclock epoch-latency instrumentation, never feeds decisions
+
+	l.tapMu.Lock()
+	reason := l.pendingReason
+	l.pendingReason = ""
+	l.lastEpochBatch = l.batches
+	l.tapMu.Unlock()
+	if reason == "" {
+		reason = reasonManual
+	}
+
+	train, holdout := l.buf.snapshotTrace(l.cfg.MinTrainDays, l.cfg.HoldoutEvery)
+	if train == nil {
+		sw.Stop()
+		l.setError(ErrNotEnoughData.Error())
+		return ErrNotEnoughData
+	}
+	src, err := rl.NewTraceSource(l.cfg.Model, train, l.histLen, l.cfg.Reward, l.cfg.Initial)
+	if err != nil {
+		sw.Stop()
+		l.setError(err.Error())
+		return err
+	}
+	rbActor, rbCritic := l.cfg.Trainer.ParamVectors()
+	stats, err := l.cfg.Trainer.FineTune(src, l.cfg.FinetuneSteps)
+	if err != nil {
+		sw.Stop()
+		l.setError(err.Error())
+		return err
+	}
+	cand := l.cfg.Trainer.Snapshot()
+	_, offerErr := l.offer(cand, holdout, rbActor, rbCritic)
+
+	// The epoch consumed the drift signal: fold the current window into the
+	// baseline so the score restarts from the just-(re)trained distribution
+	// instead of re-triggering on the same shift.
+	l.tapMu.Lock()
+	l.drift.rebaseline()
+	l.tapMu.Unlock()
+
+	elapsed := time.Since(start).Seconds() //minicost:allow-wallclock epoch-latency instrumentation, never feeds decisions
+	sw.Stop()
+	learnMet.epochs.Inc()
+
+	l.stMu.Lock()
+	l.st.Epochs++
+	l.st.LastEpochReason = reason
+	l.st.LastEpochSteps = stats.Steps
+	l.st.LastEpochSeconds = elapsed
+	l.st.LastTrainFiles = train.NumFiles()
+	if holdout != nil {
+		l.st.LastHoldoutFiles = holdout.NumFiles()
+	} else {
+		l.st.LastHoldoutFiles = 0
+	}
+	l.stMu.Unlock()
+	return offerErr
+}
+
+// offer runs the validation gate on a candidate and either hot-swaps it
+// into serving (checkpointing the trainer afterwards) or rolls the trainer
+// back to the pre-epoch weights. Returns whether the candidate was swapped
+// in.
+func (l *Learner) offer(cand *rl.Agent, holdout *trace.Trace, rbActor, rbCritic []float64) (bool, error) {
+	if l.cfg.SwapGate && holdout != nil && holdout.NumFiles() > 0 {
+		l.stMu.Lock()
+		inc := l.incumbent
+		l.stMu.Unlock()
+		candBd, candAsg, err := rl.EvaluateAgent(cand, l.cfg.Model, holdout, l.histLen, l.cfg.Initial)
+		if err != nil {
+			l.rollback(rbActor, rbCritic)
+			l.setError("gate eval (candidate): " + err.Error())
+			return false, err
+		}
+		incBd, incAsg, err := rl.EvaluateAgent(inc, l.cfg.Model, holdout, l.histLen, l.cfg.Initial)
+		if err != nil {
+			l.rollback(rbActor, rbCritic)
+			l.setError("gate eval (incumbent): " + err.Error())
+			return false, err
+		}
+		dis := disagreement(candAsg, incAsg)
+		learnMet.disagreement.Set(dis)
+		l.stMu.Lock()
+		l.st.LastCandidateCost = candBd.Total()
+		l.st.LastIncumbentCost = incBd.Total()
+		l.st.LastDisagreement = dis
+		l.stMu.Unlock()
+		if candBd.Total() > incBd.Total()*(1+l.cfg.SwapMargin) {
+			// Candidate regresses the held-out cost: reject, keep the
+			// incumbent serving, and roll the trainer back so the failed
+			// update does not compound into the next epoch.
+			l.rollback(rbActor, rbCritic)
+			learnMet.swapsRejected.Inc()
+			l.stMu.Lock()
+			l.st.SwapsRejected++
+			l.st.LastError = ""
+			l.stMu.Unlock()
+			return false, nil
+		}
+	}
+	if err := l.cfg.Serving.UpdateAgent(cand); err != nil {
+		l.rollback(rbActor, rbCritic)
+		l.setError("swap: " + err.Error())
+		return false, err
+	}
+	learnMet.swaps.Inc()
+	l.stMu.Lock()
+	l.incumbent = cand
+	l.st.Swaps++
+	l.st.LastError = ""
+	l.ckptSeq++
+	seq := l.ckptSeq
+	l.stMu.Unlock()
+	if l.cfg.CheckpointDir != "" {
+		path, err := writeCheckpoint(l.cfg.CheckpointDir, seq, l.cfg.CheckpointKeep, l.cfg.Trainer)
+		if err != nil {
+			l.setError(err.Error())
+			return true, err
+		}
+		learnMet.checkpoints.Inc()
+		l.stMu.Lock()
+		l.st.Checkpoints++
+		l.st.LastCheckpoint = path
+		l.stMu.Unlock()
+	}
+	return true, nil
+}
+
+// rollback restores the trainer's pre-epoch weights.
+func (l *Learner) rollback(actor, critic []float64) {
+	// The vectors came from ParamVectors on the same trainer, so the only
+	// failure mode is a concurrent architecture change, which cannot happen.
+	_ = l.cfg.Trainer.SetParamVectors(actor, critic)
+}
+
+// disagreement is the fraction of files whose candidate and incumbent plans
+// pick a different tier on any day — the train-vs-serve divergence gauge.
+func disagreement(a, b costmodel.Assignment) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	diff := 0
+	for i := range a {
+		pa, pb := a[i], b[i]
+		if len(pa) != len(pb) {
+			diff++
+			continue
+		}
+		for d := range pa {
+			if pa[d] != pb[d] {
+				diff++
+				break
+			}
+		}
+	}
+	return float64(diff) / float64(len(a))
+}
+
+// Status snapshots the learner's externally visible state.
+func (l *Learner) Status() Status {
+	l.tapMu.Lock()
+	batches := l.batches
+	score := l.lastScore
+	dims := l.drift.dimScores()
+	calibrating := l.drift.calibrating
+	l.tapMu.Unlock()
+	l.stMu.Lock()
+	st := l.st
+	l.stMu.Unlock()
+	st.Batches = batches
+	st.DriftScore = score
+	st.Calibrating = calibrating
+	st.BufferFiles = l.buf.files()
+	st.BufferWindow = l.buf.window
+	st.DriftDims = make(map[string]float64, numDriftDims)
+	for d := 0; d < numDriftDims; d++ {
+		st.DriftDims[driftDimNames[d]] = dims[d]
+	}
+	return st
+}
+
+// Handler serves GET /v1/learner: the Status block as JSON.
+func (l *Learner) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(l.Status())
+	})
+}
+
+// setError records an epoch failure for Status.
+func (l *Learner) setError(msg string) {
+	l.stMu.Lock()
+	l.st.LastError = msg
+	l.stMu.Unlock()
+}

@@ -1,0 +1,428 @@
+package online
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minicost/internal/agentserver"
+	"minicost/internal/costmodel"
+	"minicost/internal/mdp"
+	"minicost/internal/obs"
+	"minicost/internal/pricing"
+	"minicost/internal/rl"
+	"minicost/internal/rng"
+)
+
+// withMetrics enables the default registry for one test and restores the
+// default-off state afterwards (assertions use snapshot deltas: the registry
+// is process-global).
+func withMetrics(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.Default()
+	was := reg.Enabled()
+	reg.SetEnabled(true)
+	t.Cleanup(func() { reg.SetEnabled(was) })
+	return reg
+}
+
+// newTestStack builds a serving server + learner pair over a tiny trainer,
+// wired the way minicostd wires them (tap installed, weights aligned).
+func newTestStack(t *testing.T, seed uint64, mut func(*Config)) (*agentserver.Server, *Learner, *rl.A3C) {
+	t.Helper()
+	tr := testTrainer(t, seed)
+	srv, err := agentserver.NewWithConfig(tr.Snapshot(), pricing.Hot, agentserver.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Trainer:       tr,
+		Serving:       srv,
+		Model:         costmodel.New(pricing.Azure()),
+		Reward:        mdp.DefaultReward(),
+		Initial:       pricing.Hot,
+		BufferWindow:  12,
+		BufferFiles:   512,
+		BufferShards:  2,
+		FinetuneSteps: 96,
+		MinTrainDays:  2,
+		HoldoutEvery:  4,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetTap(l)
+	return srv, l, tr
+}
+
+// TestLearnerCadenceEpochSwapsPolicy drives the tap directly: the Nth batch
+// schedules a cadence epoch, RunEpoch fine-tunes on the buffered window, and
+// (gate off) the candidate swaps into serving with the weights moved.
+func TestLearnerCadenceEpochSwapsPolicy(t *testing.T) {
+	_, l, tr := newTestStack(t, 11, func(c *Config) {
+		c.FinetuneEvery = 3
+		c.SwapGate = false
+	})
+	before, _ := tr.ParamVectors()
+	for day := 1; day <= 3; day++ {
+		l.TapObserve(int64(day), synthBatch(24, day, 7, false))
+	}
+	l.tapMu.Lock()
+	pending := l.pendingReason
+	l.tapMu.Unlock()
+	if pending != reasonCadence {
+		t.Fatalf("pending reason %q after 3 batches, want %q", pending, reasonCadence)
+	}
+	if err := l.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Status()
+	if st.Epochs != 1 || st.LastEpochReason != reasonCadence || st.Swaps != 1 {
+		t.Fatalf("status after cadence epoch: %+v", st)
+	}
+	if st.LastEpochSteps < 96 {
+		t.Fatalf("epoch trained %d steps, want >= 96", st.LastEpochSteps)
+	}
+	if st.BufferFiles != 24 || st.Batches != 3 {
+		t.Fatalf("buffer accounting: %+v", st)
+	}
+	after, _ := tr.ParamVectors()
+	moved := false
+	for i := range after {
+		if math.Float64bits(after[i]) != math.Float64bits(before[i]) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("fine-tune epoch left the actor unchanged")
+	}
+}
+
+// TestLearnerEpochWithoutDataReports: an epoch forced before the buffer has
+// MinTrainDays of history fails with ErrNotEnoughData and surfaces it in
+// Status without killing anything.
+func TestLearnerEpochWithoutDataReports(t *testing.T) {
+	_, l, _ := newTestStack(t, 13, nil)
+	if err := l.RunEpoch(); err != ErrNotEnoughData {
+		t.Fatalf("epoch on empty buffer: %v, want ErrNotEnoughData", err)
+	}
+	if st := l.Status(); st.LastError == "" || st.Epochs != 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+// TestLearnerEndToEndDriftSwap is the issue's acceptance loop over real HTTP:
+// synthetic traffic flows through /v1/observe into the tap, the workload
+// shifts to the drifted regime, the PSI score crosses the threshold, the
+// background loop fine-tunes, the gate passes, and the candidate hot-swaps
+// into serving — all while concurrent /v1/plan traffic completes with zero
+// errors — then the swap persists a checkpoint and /v1/learner reports it.
+func TestLearnerEndToEndDriftSwap(t *testing.T) {
+	ckptDir := t.TempDir()
+	srv, l, _ := newTestStack(t, 19, func(c *Config) {
+		c.DriftThreshold = 0.25
+		c.SwapGate = true
+		c.SwapMargin = 5 // generous: the e2e pins the loop, not the gate's strictness
+		c.CheckpointDir = ckptDir
+		c.CheckpointKeep = 3
+	})
+	l.SetBaselineFromTrace(testTrace(t, 16, 8, 3, false))
+	l.Start()
+	defer l.Stop()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	mux.Handle("/v1/learner", l.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	client := agentserver.NewClient(ts.URL)
+
+	const files = 32
+	observe := func(day int, drifted bool) {
+		t.Helper()
+		if _, err := client.Observe(&agentserver.ObserveRequest{Files: synthBatch(files, day, 7, drifted)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	observe(1, false) // plans 409 until the first observation lands
+
+	// Plan hammer: serving must answer throughout observes, fine-tunes, and
+	// hot swaps without a single failed request.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var planErrs atomic.Int64
+	var plans atomic.Int64
+	var firstErr atomic.Value
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := client.Plan(); err != nil {
+					firstErr.CompareAndSwap(nil, err.Error())
+					planErrs.Add(1)
+					return
+				}
+				plans.Add(1)
+			}
+		}()
+	}
+
+	for day := 2; day <= 6; day++ {
+		observe(day, false)
+	}
+	// Shift the workload and keep observing until the loop has swapped.
+	swapped := false
+	for day := 7; day <= 60 && !swapped; day++ {
+		observe(day, true)
+		swapped = l.Status().Swaps >= 1
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var st Status
+	for {
+		st = l.Status()
+		if st.Swaps >= 1 && st.Checkpoints >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no swap after drift: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if planErrs.Load() != 0 {
+		t.Fatalf("%d plan requests failed during the loop (first: %v)", planErrs.Load(), firstErr.Load())
+	}
+	if plans.Load() == 0 {
+		t.Fatal("plan hammer never completed a request")
+	}
+	if st.LastEpochReason != reasonDrift {
+		t.Fatalf("epoch reason %q, want %q", st.LastEpochReason, reasonDrift)
+	}
+	if st.Epochs < 1 || st.LastError != "" {
+		t.Fatalf("status %+v", st)
+	}
+	latest, err := LatestCheckpoint(ckptDir)
+	if err != nil || latest == "" {
+		t.Fatalf("checkpoint after swap: (%q, %v)", latest, err)
+	}
+
+	// The learner endpoint serves the same status as JSON.
+	resp, err := http.Get(ts.URL + "/v1/learner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/learner: %s", resp.Status)
+	}
+	var remote Status
+	if err := json.NewDecoder(resp.Body).Decode(&remote); err != nil {
+		t.Fatal(err)
+	}
+	if remote.Epochs < 1 || remote.Swaps < 1 || len(remote.DriftDims) != numDriftDims {
+		t.Fatalf("remote status %+v", remote)
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TrackedFiles != files {
+		t.Fatalf("serving tracks %d files, want %d", stats.TrackedFiles, files)
+	}
+}
+
+// craftAgent builds an agent with a hand-set parameter vector: all zeros
+// decides tier 0 (Hot — argmax tie breaks low), and pushing the output bias
+// of another tier (the vector's last NumTiers entries) makes that tier the
+// unconditional decision.
+func craftAgent(t *testing.T, tier pricing.Tier, bias float64) *rl.Agent {
+	t.Helper()
+	net := testNet()
+	actor := net.BuildActor(rng.New(1))
+	p := make([]float64, actor.NumParams())
+	if bias != 0 {
+		p[len(p)-pricing.NumTiers+int(tier)] = bias
+	}
+	actor.SetParamVector(p)
+	return rl.NewAgent(net, actor)
+}
+
+// TestSwapGateRejectsPoisonedCandidate pins the validation gate: a candidate
+// that regresses held-out cost is refused (counted in
+// minicost_online_swaps_rejected_total), the incumbent keeps serving, and the
+// trainer rolls back — all while concurrent plan traffic sees zero errors.
+func TestSwapGateRejectsPoisonedCandidate(t *testing.T) {
+	reg := withMetrics(t)
+	model := costmodel.New(pricing.Azure())
+	holdout := testTrace(t, 8, 10, 13, false) // hot workload: archiving it is ruinous
+
+	hot := craftAgent(t, pricing.Hot, 0)
+	poisoned := craftAgent(t, pricing.Archive, 5)
+	hotBd, _, err := rl.EvaluateAgent(hot, model, holdout, testNet().HistLen, pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisonBd, _, err := rl.EvaluateAgent(poisoned, model, holdout, testNet().HistLen, pricing.Hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poisonBd.Total() <= hotBd.Total()*1.01 {
+		t.Fatalf("precondition: poisoned cost %v not above incumbent %v", poisonBd.Total(), hotBd.Total())
+	}
+
+	// Align the trainer's actor with the incumbent so New snapshots it.
+	tr := testTrainer(t, 17)
+	_, critic := tr.ParamVectors()
+	if err := tr.SetParamVectors(hot.ParamVector(), critic); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := agentserver.NewWithConfig(tr.Snapshot(), pricing.Hot, agentserver.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Config{
+		Trainer: tr, Serving: srv, Model: model,
+		Reward: mdp.DefaultReward(), Initial: pricing.Hot,
+		SwapGate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := agentserver.NewClient(ts.URL)
+	if _, err := client.Observe(&agentserver.ObserveRequest{Files: synthBatch(16, 0, 3, false)}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var planErrs atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := client.Plan(); err != nil {
+					planErrs.Add(1)
+					return
+				}
+			}
+		}()
+	}
+
+	rbActor, rbCritic := tr.ParamVectors()
+	before := reg.Snapshot()
+	const offers = 5
+	for i := 0; i < offers; i++ {
+		swappedIn, err := l.offer(poisoned, holdout, rbActor, rbCritic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swappedIn {
+			t.Fatal("gate admitted a cost-regressing candidate")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	after := reg.Snapshot()
+
+	if planErrs.Load() != 0 {
+		t.Fatalf("%d plan requests failed while the gate was rejecting", planErrs.Load())
+	}
+	if d := after.Counter(MetricSwapsRejected) - before.Counter(MetricSwapsRejected); d != offers {
+		t.Fatalf("%s delta = %v, want %d", MetricSwapsRejected, d, offers)
+	}
+	if d := after.Counter(MetricSwaps) - before.Counter(MetricSwaps); d != 0 {
+		t.Fatalf("%s delta = %v, want 0", MetricSwaps, d)
+	}
+	st := l.Status()
+	if st.SwapsRejected != offers || st.Swaps != 0 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.LastCandidateCost <= st.LastIncumbentCost {
+		t.Fatalf("gate evidence not recorded: %+v", st)
+	}
+	if st.LastDisagreement == 0 {
+		t.Fatal("always-Hot vs always-Archive must disagree")
+	}
+	gotA, gotC := tr.ParamVectors()
+	bitwiseEq(t, "rolled-back actor", gotA, rbActor)
+	bitwiseEq(t, "rolled-back critic", gotC, rbCritic)
+}
+
+// TestTapObserveNoAllocs is the issue's hot-path gate: once the population is
+// admitted and the scratch warmed, tapping a batch performs zero allocations.
+func TestTapObserveNoAllocs(t *testing.T) {
+	_, l, _ := newTestStack(t, 23, func(c *Config) {
+		c.BufferShards = 4 // exercise the multi-shard bucketing path
+	})
+	files := synthBatch(64, 0, 9, false)
+	l.TapObserve(1, files)
+	day := int64(1)
+	avg := testing.AllocsPerRun(100, func() {
+		day++
+		l.TapObserve(day, files)
+	})
+	if avg != 0 {
+		t.Fatalf("TapObserve allocates %v per batch in steady state, want 0", avg)
+	}
+}
+
+// TestLearnerDeterministicGivenSeed runs two identical stacks through the
+// same tap sequence and a fine-tune epoch each: trainer parameters and the
+// drift score must come out bitwise identical (the determinism invariant the
+// vet suite's analyzer enforces statically, checked dynamically here).
+func TestLearnerDeterministicGivenSeed(t *testing.T) {
+	run := func() ([]float64, []float64, float64) {
+		_, l, tr := newTestStack(t, 42, func(c *Config) {
+			c.FinetuneEvery = 4
+			c.SwapGate = true
+			c.SwapMargin = 5
+		})
+		l.SetBaselineFromTrace(testTrace(t, 16, 8, 3, false))
+		for day := 1; day <= 4; day++ {
+			l.TapObserve(int64(day), synthBatch(24, day, 7, false))
+		}
+		if err := l.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		for day := 5; day <= 8; day++ {
+			l.TapObserve(int64(day), synthBatch(24, day, 7, true))
+		}
+		a, c := tr.ParamVectors()
+		return a, c, l.Status().DriftScore
+	}
+	a1, c1, s1 := run()
+	a2, c2, s2 := run()
+	bitwiseEq(t, "actor", a2, a1)
+	bitwiseEq(t, "critic", c2, c1)
+	if math.Float64bits(s1) != math.Float64bits(s2) {
+		t.Fatalf("drift score diverged: %v vs %v", s1, s2)
+	}
+}
