@@ -118,6 +118,17 @@ type StatsResponse struct {
 // batch day counter and the raw (already validated) entries; implementations
 // must be safe for concurrent calls and must not retain the slice past the
 // call.
+//
+// Two costs of the inline contract. First, under concurrent observe
+// requests day values can reach the tap out of order (the counter is
+// incremented before the unsynchronized tap call), so implementations must
+// not assume monotone days — the online learner sidesteps this by keying
+// its gap statistics on per-file observation ordinals instead. Second, any
+// lock a tap takes inside TapObserve serializes the observe hot path across
+// requests; the learner's single tap mutex does exactly that, which is
+// acceptable because its per-batch work is flat array writes and O(buckets)
+// scoring, but a tap doing heavy work inline would become the ingest
+// bottleneck.
 type ObserveTap interface {
 	TapObserve(day int64, files []FileObservation)
 }

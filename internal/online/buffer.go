@@ -51,9 +51,16 @@ type bufShard struct {
 	fill   []int32  // observed days per slot, capped at window
 	seq    []uint64 // tap-batch sequence of the slot's last entry (duplicate detection)
 
-	// lastActive is the tap day of the slot's last observation with any
-	// read or write traffic; -1 until the first. The drift detector's
-	// inter-access-gap dimension is day − lastActive at the next active day.
+	// seen counts the slot's ingested observations — the file's observed
+	// days, one per tap batch it appeared in, uncapped by the ring window.
+	seen []int64
+	// lastActive is the seen ordinal of the slot's last observation with
+	// any read or write traffic; 0 until the first. The drift detector's
+	// inter-access-gap dimension is seen − lastActive at the next active
+	// observation: a per-file day count, so gaps stay in the trace-day
+	// units the baseline is seeded in no matter how many observe batches a
+	// workload day is split into, and stay non-negative regardless of the
+	// order concurrent requests reach the tap.
 	lastActive []int64
 
 	files atomic.Int64
@@ -93,14 +100,26 @@ func (b *buffer) files() int {
 	return int(n)
 }
 
-// shardOf hashes a file ID (FNV-1a 64, folded) onto a shard index — the same
-// hash the serving store uses, so co-located deployments shard compatibly.
-func shardOf(id string, mask uint32) uint32 {
+// hashID is the FNV-1a 64 hash of a file ID — the shard router and the
+// holdout split both key on it, so each is a stable function of file
+// identity alone.
+//
+//minicost:hotpath
+func hashID(id string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(id); i++ {
 		h ^= uint64(id[i])
 		h *= 1099511628211
 	}
+	return h
+}
+
+// shardOf folds hashID onto a shard index — the same hash the serving store
+// uses, so co-located deployments shard compatibly.
+//
+//minicost:hotpath
+func shardOf(id string, mask uint32) uint32 {
+	h := hashID(id)
 	return uint32(h^(h>>32)) & mask
 }
 
@@ -117,7 +136,8 @@ func (sh *bufShard) addSlot(id string) int32 {
 	sh.head = append(sh.head, 0)
 	sh.fill = append(sh.fill, 0)
 	sh.seq = append(sh.seq, 0)
-	sh.lastActive = append(sh.lastActive, -1)
+	sh.seen = append(sh.seen, 0)
+	sh.lastActive = append(sh.lastActive, 0)
 	sh.index[id] = slot
 	sh.files.Store(int64(len(sh.ids)))
 	return slot
@@ -126,17 +146,17 @@ func (sh *bufShard) addSlot(id string) int32 {
 // ingestBatch applies this shard's entries of one tap batch in batch order.
 // idxs selects the batch positions owned by this shard; nil means the whole
 // batch (the single-shard fast path). seq detects duplicate IDs within the
-// batch (last entry wins, the ring advances once). day is the tap's batch
-// counter, feeding the drift detector's inter-access-gap dimension through
-// ds. Returns (ingested, rejected) counts; rejections are observations for
-// files the bounded shard had no room to admit.
+// batch (last entry wins, the ring advances once). Drift samples — including
+// inter-access gaps, measured in each file's own observed-day ordinals —
+// flow through ds. Returns (ingested, rejected) counts; rejections are
+// observations for files the bounded shard had no room to admit.
 //
 //minicost:hotpath
-func (sh *bufShard) ingestBatch(files []agentserver.FileObservation, idxs []int32, seq uint64, day int64, ds *driftStats) (ingested, rejected int) {
+func (sh *bufShard) ingestBatch(files []agentserver.FileObservation, idxs []int32, seq uint64, ds *driftStats) (ingested, rejected int) {
 	sh.mu.Lock()
 	if idxs == nil {
 		for i := range files {
-			ok := sh.ingestEntry(&files[i], seq, day, ds)
+			ok := sh.ingestEntry(&files[i], seq, ds)
 			if ok {
 				ingested++
 			} else {
@@ -145,7 +165,7 @@ func (sh *bufShard) ingestBatch(files []agentserver.FileObservation, idxs []int3
 		}
 	} else {
 		for _, bi := range idxs {
-			ok := sh.ingestEntry(&files[bi], seq, day, ds)
+			ok := sh.ingestEntry(&files[bi], seq, ds)
 			if ok {
 				ingested++
 			} else {
@@ -162,7 +182,7 @@ func (sh *bufShard) ingestBatch(files []agentserver.FileObservation, idxs []int3
 // dropped (shard full). Caller holds sh.mu.
 //
 //minicost:hotpath
-func (sh *bufShard) ingestEntry(f *agentserver.FileObservation, seq uint64, day int64, ds *driftStats) bool {
+func (sh *bufShard) ingestEntry(f *agentserver.FileObservation, seq uint64, ds *driftStats) bool {
 	slot, ok := sh.index[f.ID]
 	if !ok {
 		if len(sh.ids) >= sh.cap {
@@ -178,14 +198,15 @@ func (sh *bufShard) ingestEntry(f *agentserver.FileObservation, seq uint64, day 
 		return true
 	}
 	sh.seq[slot] = seq
+	sh.seen[slot]++
 	ds.observeReads(f.Reads)
 	ds.observeWrites(f.Writes)
 	ds.observeSize(f.SizeGB)
 	if f.Reads > 0 || f.Writes > 0 {
-		if last := sh.lastActive[slot]; last >= 0 {
-			ds.observeGap(float64(day - last))
+		if last := sh.lastActive[slot]; last > 0 {
+			ds.observeGap(float64(sh.seen[slot] - last))
 		}
-		sh.lastActive[slot] = day
+		sh.lastActive[slot] = sh.seen[slot]
 	}
 	sh.ingestOne(slot, f.SizeGB, f.Reads, f.Writes)
 	return true
@@ -253,15 +274,19 @@ type eligibleFile struct {
 	slot  int32
 	size  float64
 	fill  int
+	hold  bool
 }
 
 // snapshotTrace reconstructs training material from the buffered windows:
 // every file with at least minDays observed days contributes its most recent
 // `days` entries, where days is the minimum fill among eligible files (so
-// all series align, as trace.Trace requires). Every holdoutEvery-th eligible
-// file (in deterministic shard-then-slot order) lands in the held-out trace
-// the validation gate scores candidates on; the rest form the training
-// trace. Either return may be nil when no file qualifies for it.
+// all series align, as trace.Trace requires). Eligible files whose ID hash
+// falls in the holdout residue class (hashID mod holdoutEvery == 0, a ~1/k
+// slice) land in the held-out trace the validation gate scores candidates
+// on; the rest form the training trace. Keying the split on file identity —
+// not on position in the eligible ordering — keeps membership stable as new
+// files are admitted, so the gate never scores a candidate on files a prior
+// epoch trained on. Either return may be nil when no file qualifies for it.
 func (b *buffer) snapshotTrace(minDays, holdoutEvery int) (train, holdout *trace.Trace) {
 	if minDays < 1 {
 		minDays = 1
@@ -278,7 +303,8 @@ func (b *buffer) snapshotTrace(minDays, holdoutEvery int) (train, holdout *trace
 			if f < days {
 				days = f
 			}
-			eligible = append(eligible, eligibleFile{shard: si, slot: int32(slot), size: sh.size[slot], fill: f})
+			hold := holdoutEvery > 0 && hashID(sh.ids[slot])%uint64(holdoutEvery) == 0
+			eligible = append(eligible, eligibleFile{shard: si, slot: int32(slot), size: sh.size[slot], fill: f, hold: hold})
 		}
 		sh.mu.Unlock()
 	}
@@ -289,7 +315,7 @@ func (b *buffer) snapshotTrace(minDays, holdoutEvery int) (train, holdout *trace
 	holdout = &trace.Trace{Days: days}
 	for g, ef := range eligible {
 		dst := train
-		if holdoutEvery > 0 && g%holdoutEvery == 0 {
+		if ef.hold {
 			dst = holdout
 		}
 		rs := make([]float64, days)

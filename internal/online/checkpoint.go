@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"minicost/internal/rl"
@@ -67,9 +68,25 @@ func writeCheckpoint(dir string, seq int64, keep int, tr *rl.A3C) (string, error
 	return final, nil
 }
 
+// checkpointSeqOf parses the sequence number out of a checkpoint file name;
+// ok is false for names that merely wear the prefix/suffix.
+func checkpointSeqOf(name string) (int64, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+		return 0, false
+	}
+	s := strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointSuffix)
+	seq, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
 // listCheckpoints returns the checkpoint file names in dir, oldest first.
 // os.ReadDir sorts by name, and the zero-padded sequence makes name order
-// chronological.
+// chronological. Files that wear the prefix/suffix but carry no parseable
+// sequence are not checkpoints and are excluded, so a foreign file can
+// neither shadow LatestCheckpoint nor be deleted by pruning.
 func listCheckpoints(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -81,12 +98,36 @@ func listCheckpoints(dir string) ([]string, error) {
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := checkpointSeqOf(name); !ok {
 			continue
 		}
 		names = append(names, name)
 	}
 	return names, nil
+}
+
+// maxCheckpointSeq returns the highest sequence number among the checkpoint
+// files in dir (0 when the directory is empty or absent). A learner reusing
+// a checkpoint directory across restarts seeds its sequence counter from
+// this, so new checkpoints always sort after the prior run's — numbering
+// below the retained files would make pruneCheckpoints (name-ordered)
+// delete the freshly written checkpoint while keeping stale ones, and later
+// sequences would silently overwrite prior-run history.
+func maxCheckpointSeq(dir string) (int64, error) {
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, err
+	}
+	max := int64(0)
+	for _, name := range names {
+		if seq, ok := checkpointSeqOf(name); ok && seq > max {
+			max = seq
+		}
+	}
+	return max, nil
 }
 
 // pruneCheckpoints removes all but the newest `keep` checkpoints in dir.

@@ -113,3 +113,46 @@ func TestLatestCheckpointMissingDir(t *testing.T) {
 		t.Fatalf("got (%q, %v), want empty, nil", latest, err)
 	}
 }
+
+// TestCheckpointSeqResumesAcrossRestart pins the restart contract for a
+// reused checkpoint directory: a new learner must continue numbering after
+// the prior run's retained files, so its first checkpoint sorts newest —
+// numbering from zero would make name-ordered pruning delete the fresh
+// checkpoint while keeping stale ones.
+func TestCheckpointSeqResumesAcrossRestart(t *testing.T) {
+	tr := testTrainer(t, 7)
+	dir := t.TempDir()
+	for seq := int64(5); seq <= 7; seq++ {
+		if _, err := writeCheckpoint(dir, seq, 3, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-checkpoint file wearing the prefix must not poison the scan.
+	if err := os.WriteFile(filepath.Join(dir, checkpointPrefix+"notes"+checkpointSuffix), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := maxCheckpointSeq(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("maxCheckpointSeq = %d, want 7", got)
+	}
+	if got, err := maxCheckpointSeq(filepath.Join(dir, "nope")); err != nil || got != 0 {
+		t.Fatalf("missing dir: (%d, %v), want (0, nil)", got, err)
+	}
+
+	// Writing the next checkpoint at seq+1 keeps chronology: it survives
+	// pruning and LatestCheckpoint points at it.
+	if _, err := writeCheckpoint(dir, got+1, 3, tr); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != filepath.Join(dir, checkpointName(8)) {
+		t.Fatalf("latest after restart-write = %q, want seq 8", latest)
+	}
+}

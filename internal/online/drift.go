@@ -6,8 +6,9 @@ import "math"
 // distribution the serving policy was trained on, per ISSUE 10: a policy
 // trained offline keeps minimizing cost only while the workload still looks
 // like its training trace. Four streaming dimensions are tracked — daily
-// read rate, daily write rate, file size, and inter-access gap (batches
-// between a file's active days) — each as a fixed-edge histogram, and each
+// read rate, daily write rate, file size, and inter-access gap (a file's
+// observed days between its active days, the same unit the trace baseline
+// samples) — each as a fixed-edge histogram, and each
 // scored with the population stability index
 //
 //	PSI = Σ_buckets (curP − baseP) · ln(curP / baseP)
@@ -37,7 +38,8 @@ var (
 	writeEdges = [...]float64{0.5, 5, 50, 500, 5e3, 5e4, 5e5}
 	// sizeEdges bucket file sizes in GB (loadgen emits 0.01–50 GB).
 	sizeEdges = [...]float64{0.02, 0.1, 0.5, 2, 10, 50, 250}
-	// gapEdges bucket inter-access gaps in observe batches.
+	// gapEdges bucket inter-access gaps in per-file observed days (live
+	// traffic) / trace days (baseline) — the units match by construction.
 	gapEdges = [...]float64{1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5}
 )
 
@@ -114,7 +116,7 @@ const (
 	numDriftDims
 )
 
-var driftDimNames = [numDriftDims]string{"reads", "writes", "size_gb", "gap_batches"}
+var driftDimNames = [numDriftDims]string{"reads", "writes", "size_gb", "gap_days"}
 
 // driftStats holds the four-dimensional baseline and current-window
 // histograms. Not internally locked: the learner mutates it only under its

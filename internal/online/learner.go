@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minicost/internal/agentserver"
@@ -68,8 +69,10 @@ type Config struct {
 	// MinTrainDays is the observed-day minimum for a buffered file to enter
 	// a training snapshot. 0 selects histLen (clamped to the window).
 	MinTrainDays int
-	// HoldoutEvery holds out every k-th eligible file for the validation
-	// gate. 0 selects 5 (a 20% slice); negative disables the holdout.
+	// HoldoutEvery holds out the ~1/k of eligible files whose ID hash
+	// falls in the holdout residue class — an identity-keyed split, stable
+	// as the buffer population grows — for the validation gate. 0 selects
+	// 5 (a ~20% slice); negative disables the holdout.
 	HoldoutEvery int
 
 	// DriftThreshold triggers an epoch when the PSI drift score reaches it.
@@ -136,9 +139,11 @@ type Learner struct {
 	histLen int
 	buf     *buffer
 
-	kick   chan struct{}
-	stopCh chan struct{}
-	doneCh chan struct{}
+	kick     chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	started  atomic.Bool
+	stopOnce sync.Once
 
 	// tapMu guards everything the observe tap touches: the bucketing
 	// scratch, the drift detector, batch counters, and epoch-trigger
@@ -227,6 +232,17 @@ func New(cfg Config) (*Learner, error) {
 	if cfg.CheckpointKeep == 0 {
 		cfg.CheckpointKeep = 5
 	}
+	// Resume checkpoint numbering after any prior run sharing the directory:
+	// starting from 0 would name new checkpoints below the retained ones, so
+	// name-ordered pruning would delete them immediately and LatestCheckpoint
+	// would keep returning a stale prior-run file.
+	ckptSeq := int64(0)
+	if cfg.CheckpointDir != "" {
+		var err error
+		if ckptSeq, err = maxCheckpointSeq(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
 	buf := newBuffer(cfg.BufferWindow, cfg.BufferFiles, cfg.BufferShards)
 	p := len(buf.shards)
 	l := &Learner{
@@ -240,6 +256,7 @@ func New(cfg Config) (*Learner, error) {
 		offsets:   make([]int32, p+1),
 		pos:       make([]int32, p),
 		incumbent: cfg.Trainer.Snapshot(),
+		ckptSeq:   ckptSeq,
 	}
 	return l, nil
 }
@@ -257,15 +274,22 @@ func (l *Learner) SetBaselineFromTrace(tr *trace.Trace) {
 	l.tapMu.Unlock()
 }
 
-// Start launches the background epoch loop. Pair with Stop.
+// Start launches the background epoch loop. Pair with Stop. Idempotent:
+// repeated calls launch one loop.
 func (l *Learner) Start() {
-	go l.runLoop()
+	if l.started.CompareAndSwap(false, true) {
+		go l.runLoop()
+	}
 }
 
 // Stop terminates the background loop, waiting for an in-flight epoch to
-// finish. The tap keeps buffering after Stop; only epoch execution halts.
+// finish. A no-op when Start never ran, and safe to call repeatedly. The
+// tap keeps buffering after Stop; only epoch execution halts.
 func (l *Learner) Stop() {
-	close(l.stopCh)
+	if !l.started.Load() {
+		return
+	}
+	l.stopOnce.Do(func() { close(l.stopCh) })
 	<-l.doneCh
 }
 
@@ -291,6 +315,13 @@ func (l *Learner) runLoop() {
 // scheduled here (non-blocking channel kick); training never runs on the
 // serve path.
 //
+// The server's day counter is ignored: inter-access gaps are measured in
+// each file's own observed-day ordinal, which keeps the gap dimension in
+// the trace-day units the baseline is seeded in (however many observe
+// batches a workload day is split into) and immune to out-of-order day
+// delivery under concurrent requests. Note that tapMu serializes concurrent
+// observe requests through this method — see the ObserveTap contract.
+//
 //minicost:hotpath
 func (l *Learner) TapObserve(day int64, files []agentserver.FileObservation) {
 	n := len(files)
@@ -303,7 +334,7 @@ func (l *Learner) TapObserve(day int64, files []agentserver.FileObservation) {
 	ingested, rejected := 0, 0
 	p := len(l.buf.shards)
 	if p == 1 {
-		ingested, rejected = l.buf.shards[0].ingestBatch(files, nil, seq, day, l.drift)
+		ingested, rejected = l.buf.shards[0].ingestBatch(files, nil, seq, l.drift)
 	} else {
 		if cap(l.home) < n {
 			l.home = make([]int32, n)
@@ -334,7 +365,7 @@ func (l *Learner) TapObserve(day int64, files []agentserver.FileObservation) {
 		// writes, and a fixed order keeps the drift accumulation — and so
 		// the drift score — a pure function of the batch sequence.
 		for si := 0; si < p; si++ {
-			ing, rej := l.buf.shards[si].ingestBatch(files, order[counts[si]:counts[si+1]], seq, day, l.drift)
+			ing, rej := l.buf.shards[si].ingestBatch(files, order[counts[si]:counts[si+1]], seq, l.drift)
 			ingested += ing
 			rejected += rej
 		}

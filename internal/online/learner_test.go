@@ -426,3 +426,47 @@ func TestLearnerDeterministicGivenSeed(t *testing.T) {
 		t.Fatalf("drift score diverged: %v vs %v", s1, s2)
 	}
 }
+
+// TestLearnerSeedsCheckpointSeqFromDir: New on a reused checkpoint directory
+// resumes the sequence counter from the newest retained file, so the first
+// post-restart checkpoint sorts after — not below — the prior run's.
+func TestLearnerSeedsCheckpointSeqFromDir(t *testing.T) {
+	dir := t.TempDir()
+	tr := testTrainer(t, 31)
+	for seq := int64(6); seq <= 7; seq++ {
+		if _, err := writeCheckpoint(dir, seq, 5, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, l, _ := newTestStack(t, 31, func(c *Config) {
+		c.CheckpointDir = dir
+	})
+	l.stMu.Lock()
+	seq := l.ckptSeq
+	l.stMu.Unlock()
+	if seq != 7 {
+		t.Fatalf("ckptSeq seeded to %d, want 7 (max in dir)", seq)
+	}
+}
+
+// TestStopWithoutStart: Stop on a learner whose loop never ran must return
+// immediately (not deadlock on the loop's done channel), and both Start and
+// Stop are idempotent.
+func TestStopWithoutStart(t *testing.T) {
+	_, l, _ := newTestStack(t, 29, nil)
+	done := make(chan struct{})
+	go func() {
+		l.Stop()
+		l.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop without Start deadlocked")
+	}
+	l.Start()
+	l.Start() // second call must not launch a second loop
+	l.Stop()
+	l.Stop() // and repeated Stop after shutdown stays safe
+}
